@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the substrates: how fast the
+//! *simulator itself* runs (host time per virtual event), which is what
+//! bounds how large a machine the harness can model.
+
+use beff_core::beff::{run_beff, BeffConfig, MeasureSchedule};
+use beff_machines::t3e;
+use beff_mpi::World;
+use beff_mpiio::FileView;
+use beff_netsim::{MachineNet, NetParams, RouteCache, Topology, KB, MB};
+use beff_pfs::{stripe_split, DataRef, Pfs, PfsConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    let net = MachineNet::new(Topology::Torus3D { dims: [8, 8, 8] }, NetParams::default());
+    let mut cache = RouteCache::new(net.topology().clone());
+    let path: Vec<usize> = cache.path(0, 137).to_vec();
+    let mut t = 0.0;
+    g.bench_function("price_1mb_transfer", |b| {
+        b.iter(|| {
+            t += 1.0;
+            black_box(net.price(&path, MB, t))
+        })
+    });
+    g.bench_function("route_torus3d_uncached", |b| {
+        let topo = net.topology();
+        let mut buf = Vec::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 97) % 512;
+            topo.route_into(i, (i * 31) % 512, &mut buf);
+            black_box(buf.len())
+        })
+    });
+    g.bench_function("route_cached", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(cache.path(i, (i + 1) % 64).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_mpi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpi");
+    g.sample_size(10);
+    g.bench_function("sim_world_1000_sendrecv_x4procs", |b| {
+        let net = Arc::new(MachineNet::new(
+            Topology::Crossbar { procs: 4 },
+            NetParams::default(),
+        ));
+        b.iter(|| {
+            let net = Arc::clone(&net);
+            let out = World::sim(net).run(|comm| {
+                let peer = comm.rank() ^ 1;
+                let buf = [0u8; 64];
+                let mut scratch = [0u8; 64];
+                for _ in 0..1000 {
+                    comm.payload_sendrecv(peer, 1, &buf, Some(peer), Some(1), &mut scratch);
+                }
+                comm.now()
+            });
+            black_box(out)
+        })
+    });
+    g.bench_function("allreduce_x8procs", |b| {
+        b.iter(|| {
+            let out = World::real(8).run(|comm| {
+                let mut acc = 0.0;
+                for i in 0..50 {
+                    acc += comm.allreduce_scalar(i as f64, beff_mpi::ReduceOp::Max);
+                }
+                acc
+            });
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+fn bench_pfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pfs");
+    g.bench_function("stripe_split_1mb_64k", |b| {
+        b.iter(|| black_box(stripe_split(12345, MB, 64 * KB, 8)))
+    });
+    g.bench_function("write_pricing", |b| {
+        b.iter_batched(
+            || Pfs::new(PfsConfig::default()),
+            |pfs| {
+                let (f, mut t) = pfs.open("bench", 0.0);
+                for i in 0..100u64 {
+                    t = pfs.write(0, &f, i * 32 * KB, DataRef::Len(32 * KB), t);
+                }
+                black_box(t)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_mpiio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpiio");
+    let view = FileView::Strided { disp: 4096, block: 1024, stride: 16 * 1024 };
+    g.bench_function("view_map_range_1mb_1k_chunks", |b| {
+        b.iter(|| black_box(view.map_range(0, MB)))
+    });
+    g.finish();
+}
+
+fn bench_beff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("beff");
+    g.sample_size(10);
+    let machine = t3e();
+    g.bench_function("beff_t3e_8procs_micro_schedule", |b| {
+        let cfg = BeffConfig {
+            schedule: MeasureSchedule { loop_start: 2, reps: 1, ..MeasureSchedule::quick() },
+            ..BeffConfig::quick(machine.mem_per_proc).without_extras()
+        };
+        b.iter(|| {
+            let out =
+                World::sim_partition(machine.network(), 8).run(|comm| run_beff(comm, &cfg));
+            black_box(out[0].beff)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_netsim, bench_mpi, bench_pfs, bench_mpiio, bench_beff);
+criterion_main!(benches);

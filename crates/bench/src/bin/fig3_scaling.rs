@@ -1,0 +1,64 @@
+//! Regenerates **Figure 3** of the paper: b_eff_io as a function of the
+//! partition size on the Cray T3E (flat — the I/O subsystem is a global
+//! resource that few clients saturate) and the IBM SP (tracks the
+//! number of nodes until the per-node injection saturates GPFS).
+//!
+//! Also sweeps the scheduled time T, reproducing the §5.4 observation
+//! that short runs benefit from the filesystem cache.
+//!
+//! Usage: `cargo run --release -p beff-bench --bin fig3_scaling [--full]`
+
+use beff_bench::{full_mode, run_beffio_on};
+use beff_core::beffio::BeffIoConfig;
+use beff_machines::{by_key, SP_IO_CLAIM, T3E_IO_CLAIM};
+use beff_report::{Chart, Table};
+
+fn main() {
+    // scaled T values: the paper used 10 and 15 minutes; the quick mode
+    // keeps the ratio but runs seconds of virtual time
+    let ts: Vec<(f64, &str)> = if full_mode() {
+        vec![(600.0, "T=10min"), (900.0, "T=15min")]
+    } else {
+        vec![(20.0, "T=20s"), (30.0, "T=30s")]
+    };
+    let partitions = [8usize, 16, 32, 64, 128];
+
+    for key in ["t3e", "ibm-sp"] {
+        let machine = by_key(key).expect("machine");
+        let mut table_rows: Vec<Vec<String>> = Vec::new();
+        let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+        for (t, tname) in &ts {
+            let mut vals = Vec::new();
+            for &n in &partitions {
+                let m = machine.sized_for(n);
+                let cfg = BeffIoConfig::paper(m.mem_per_node).with_t(*t);
+                let r = run_beffio_on(&m, n, &cfg);
+                vals.push(r.beff_io);
+                table_rows.push(vec![
+                    tname.to_string(),
+                    n.to_string(),
+                    format!("{:.1}", r.beff_io),
+                ]);
+                eprintln!("done: {key} {tname} n={n}: {:.1} MB/s", r.beff_io);
+            }
+            series.push((tname.to_string(), vals));
+        }
+
+        println!("\nFigure 3 — b_eff_io vs partition size on {}\n", machine.name);
+        let mut table = Table::new(&["T", "procs", "b_eff_io MB/s"]);
+        for r in &table_rows {
+            table.row(r);
+        }
+        println!("{}", table.render());
+        let labels: Vec<String> = partitions.iter().map(|n| n.to_string()).collect();
+        let mut chart = Chart::new(&format!("{} b_eff_io (MB/s) over procs", machine.name), &labels);
+        for (name, vals) in &series {
+            chart.series(name, vals);
+        }
+        println!("{}", chart.render());
+        println!(
+            "paper claim: {}",
+            if key == "t3e" { T3E_IO_CLAIM } else { SP_IO_CLAIM }
+        );
+    }
+}

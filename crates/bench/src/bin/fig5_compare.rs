@@ -1,0 +1,56 @@
+//! Regenerates **Figure 5** of the paper: the final b_eff_io values of
+//! the four platforms at several partition sizes.
+//!
+//! Usage: `cargo run --release -p beff-bench --bin fig5_compare [--full]`
+
+use beff_bench::{beffio_cfg, run_beffio_on};
+use beff_core::beffio::AccessMethod;
+use beff_machines::by_key;
+use beff_report::{Align, Chart, Table};
+
+fn main() {
+    let systems: [(&str, Vec<usize>); 4] = [
+        ("t3e", vec![8, 16, 32, 64]),
+        ("ibm-sp", vec![8, 16, 32, 64]),
+        ("sr8000-rr", vec![8, 16, 32]),
+        ("sx5", vec![2, 4]),
+    ];
+
+    let mut table = Table::new(&[
+        "system",
+        "procs",
+        "write MB/s",
+        "rewrite MB/s",
+        "read MB/s",
+        "b_eff_io MB/s",
+    ])
+    .align(0, Align::Left);
+
+    let mut chart_labels: Vec<String> = Vec::new();
+    let mut chart_vals: Vec<f64> = Vec::new();
+    for (key, partitions) in &systems {
+        let machine = by_key(key).expect("machine");
+        for &n in partitions {
+            let m = machine.sized_for(n);
+            let cfg = beffio_cfg(&m);
+            let r = run_beffio_on(&m, n, &cfg);
+            table.row(&[
+                m.name.to_string(),
+                n.to_string(),
+                format!("{:.1}", r.method_value(AccessMethod::InitialWrite).unwrap_or(0.0)),
+                format!("{:.1}", r.method_value(AccessMethod::Rewrite).unwrap_or(0.0)),
+                format!("{:.1}", r.method_value(AccessMethod::Read).unwrap_or(0.0)),
+                format!("{:.1}", r.beff_io),
+            ]);
+            chart_labels.push(format!("{key}/{n}"));
+            chart_vals.push(r.beff_io);
+            eprintln!("done: {key} n={n}: {:.1} MB/s", r.beff_io);
+        }
+    }
+
+    println!("\nFigure 5 — final b_eff_io comparison\n");
+    println!("{}", table.render());
+    let mut chart = Chart::new("b_eff_io (MB/s, log scale)", &chart_labels);
+    chart.series("b_eff_io", &chart_vals);
+    println!("{}", chart.render());
+}

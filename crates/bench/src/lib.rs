@@ -1,0 +1,74 @@
+//! # beff-bench
+//!
+//! Harness binaries that regenerate every table and figure of the
+//! paper on the simulated machine models, plus Criterion micro-benches
+//! of the substrates. This library holds the shared runner/CLI glue.
+//!
+//! Binaries (one per experiment, see DESIGN.md §4):
+//! `table1`, `fig1_balance`, `table2_patterns`, `fig3_scaling`,
+//! `fig4_detail`, `fig5_compare`, `ablation_termination`,
+//! `ablation_twophase`, `ablation_cache`, `ablation_placement`.
+//!
+//! All binaries accept `--full` for paper-fidelity schedules (minutes
+//! of runtime) and default to a scaled-down schedule that preserves the
+//! shapes.
+
+use beff_core::beff::{run_beff, BeffConfig};
+use beff_core::beffio::{run_beff_io, BeffIoConfig, BeffIoResult};
+use beff_core::BeffResult;
+use beff_machines::Machine;
+use beff_mpi::World;
+use beff_mpiio::IoWorld;
+
+/// Run b_eff on the first `procs` processors of a machine model.
+pub fn run_beff_on(machine: &Machine, procs: usize, cfg: &BeffConfig) -> BeffResult {
+    let net = machine.network();
+    let mut results = World::sim_partition(net, procs).run(|c| run_beff(c, cfg));
+    results.swap_remove(0)
+}
+
+/// Run b_eff_io on a partition of a machine model (fresh filesystem).
+pub fn run_beffio_on(machine: &Machine, procs: usize, cfg: &BeffIoConfig) -> BeffIoResult {
+    let net = machine.network();
+    let pfs = machine
+        .filesystem()
+        .unwrap_or_else(|| panic!("{} has no I/O model", machine.key));
+    let io = IoWorld::sim(pfs);
+    let mut results = World::sim_partition(net, procs).run(|c| run_beff_io(c, &io, cfg));
+    results.swap_remove(0)
+}
+
+/// CLI: `--full` selects the paper-fidelity schedule.
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// CLI: an arbitrary flag.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// The b_eff schedule for the selected mode.
+pub fn beff_cfg(machine: &Machine) -> BeffConfig {
+    if full_mode() {
+        BeffConfig::paper(machine.mem_per_proc)
+    } else {
+        BeffConfig::quick(machine.mem_per_proc)
+    }
+}
+
+/// The b_eff_io schedule for the selected mode.
+pub fn beffio_cfg(machine: &Machine) -> BeffIoConfig {
+    if full_mode() {
+        BeffIoConfig::paper(machine.mem_per_node)
+    } else {
+        // a scaled-down T: same pattern table, seconds instead of
+        // minutes of virtual time
+        BeffIoConfig::quick(machine.mem_per_node).with_t(30.0)
+    }
+}
+
+/// Format "measured (paper X)" comparison cells.
+pub fn vs(measured: f64, paper: f64) -> String {
+    format!("{measured:>8.0} ({paper:>6.0})")
+}

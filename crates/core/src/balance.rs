@@ -1,0 +1,45 @@
+//! The balance factor (paper §2.1, Fig. 1): the ratio of the effective
+//! communication bandwidth to the Linpack floating-point performance —
+//! how many bytes per second a machine can move per flop it can
+//! compute.
+
+use serde::Serialize;
+
+/// Balance factor of a system.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Balance {
+    /// b_eff in MByte/s.
+    pub beff_mbps: f64,
+    /// R_max (Linpack) in MFlop/s.
+    pub rmax_mflops: f64,
+}
+
+impl Balance {
+    pub fn new(beff_mbps: f64, rmax_mflops: f64) -> Self {
+        assert!(rmax_mflops > 0.0, "R_max must be positive");
+        Self { beff_mbps, rmax_mflops }
+    }
+
+    /// The balance factor in bytes communicated per flop
+    /// (MByte/s ÷ MFlop/s).
+    pub fn factor(&self) -> f64 {
+        self.beff_mbps / self.rmax_mflops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_is_ratio() {
+        let b = Balance::new(19_919.0, 450_000.0); // T3E-like numbers
+        assert!((b.factor() - 19_919.0 / 450_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rmax_rejected() {
+        Balance::new(1.0, 0.0);
+    }
+}

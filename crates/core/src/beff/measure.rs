@@ -1,0 +1,140 @@
+//! Time-driven measurement core of b_eff: the looplength control
+//! ("looplength = 300 for the shortest message … reduced dynamically to
+//! achieve an execution time between 2.5 and 5 msec, minimum 1") and
+//! the bandwidth formula
+//! `b = L · messages · looplength / max-time-over-ranks`.
+
+use super::methods::{Method, Transfers};
+use beff_mpi::{Comm, ReduceOp};
+use beff_netsim::{Secs, MB};
+use serde::Serialize;
+
+/// Loop/repetition schedule.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MeasureSchedule {
+    /// Starting looplength for the shortest message (paper: 300).
+    pub loop_start: u32,
+    /// Lower edge of the per-loop time window (paper: 2.5 ms).
+    pub loop_min_time: Secs,
+    /// Upper edge (paper: 5 ms).
+    pub loop_max_time: Secs,
+    /// Repetitions per measurement, best taken (paper: 3).
+    pub reps: u32,
+}
+
+impl MeasureSchedule {
+    /// The paper's schedule (3–5 wall minutes on period hardware).
+    pub fn paper() -> Self {
+        Self { loop_start: 300, loop_min_time: 2.5e-3, loop_max_time: 5e-3, reps: 3 }
+    }
+
+    /// A scaled-down schedule for CI and large simulated machines.
+    pub fn quick() -> Self {
+        Self { loop_start: 8, loop_min_time: 2.5e-3, loop_max_time: 5e-3, reps: 1 }
+    }
+
+    /// Adapt the looplength after observing `dt` seconds for
+    /// `looplength` iterations.
+    pub fn adapt(&self, looplength: u32, dt: Secs) -> u32 {
+        if dt <= 0.0 {
+            return looplength;
+        }
+        let per_iter = dt / looplength as f64;
+        let target = 0.5 * (self.loop_min_time + self.loop_max_time);
+        let next = (target / per_iter).floor();
+        (next as u32).clamp(1, self.loop_start)
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Measurement {
+    /// Bandwidth in MByte/s (aggregate over all ranks).
+    pub mbps: f64,
+    /// Max-over-ranks elapsed time of the loop.
+    pub dt: Secs,
+    /// Looplength used.
+    pub looplength: u32,
+}
+
+/// Measure one (pattern, size, method) point: synchronize, run the
+/// loop, reduce the max time, apply the formula. `messages` is the
+/// total message count per iteration over all ranks (2·n for rings).
+#[allow(clippy::too_many_arguments)]
+pub fn measure_point(
+    comm: &mut Comm,
+    tr: &mut Transfers,
+    method: Method,
+    left: usize,
+    right: usize,
+    len: u64,
+    messages: u64,
+    looplength: u32,
+) -> Measurement {
+    comm.barrier();
+    let t0 = comm.now();
+    for _ in 0..looplength {
+        tr.ring_iteration(comm, method, left, right, len);
+    }
+    let dt_local = comm.now() - t0;
+    let dt = comm.allreduce_scalar(dt_local, ReduceOp::Max);
+    let bytes = len as f64 * messages as f64 * looplength as f64;
+    Measurement { mbps: bytes / MB as f64 / dt.max(1e-12), dt, looplength }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_values() {
+        let s = MeasureSchedule::paper();
+        assert_eq!(s.loop_start, 300);
+        assert_eq!(s.reps, 3);
+        assert_eq!(s.loop_min_time, 2.5e-3);
+    }
+
+    #[test]
+    fn adapt_shrinks_long_loops() {
+        let s = MeasureSchedule::paper();
+        // 300 iterations took 3 s: ~10 ms each; target 3.75 ms -> 1
+        assert_eq!(s.adapt(300, 3.0), 1);
+        // 300 iterations in 1 ms: plenty of headroom, clamped at start
+        assert_eq!(s.adapt(300, 1e-3), 300);
+    }
+
+    #[test]
+    fn adapt_stays_in_window() {
+        let s = MeasureSchedule::paper();
+        // 100 iters in 2.5 ms -> 25 us/iter -> target 3.75 ms -> 150
+        assert_eq!(s.adapt(100, 2.5e-3), 150);
+        // degenerate zero time: unchanged
+        assert_eq!(s.adapt(42, 0.0), 42);
+    }
+
+    #[test]
+    fn adapt_never_below_one() {
+        let s = MeasureSchedule::quick();
+        assert_eq!(s.adapt(1, 100.0), 1);
+    }
+
+    #[test]
+    fn measure_point_computes_formula() {
+        use beff_netsim::{MachineNet, NetParams, Topology};
+        use std::sync::Arc;
+        let net =
+            Arc::new(MachineNet::new(Topology::Crossbar { procs: 2 }, NetParams::default()));
+        let ms = beff_mpi::World::sim(net).run(|c| {
+            let peer = 1 - c.rank();
+            let mut tr = Transfers::new(c, 1 << 16);
+            measure_point(c, &mut tr, Method::NonBlocking, peer, peer, 1 << 16, 4, 10)
+        });
+        // both ranks agree on the reduced measurement
+        assert!((ms[0].mbps - ms[1].mbps).abs() < 1e-9);
+        assert!(ms[0].mbps > 0.0);
+        assert_eq!(ms[0].looplength, 10);
+        // sanity: cannot exceed 2x the port bandwidth budget (2 ports
+        // x 300 MB/s on the default model)
+        assert!(ms[0].mbps < 2.0 * 300.0 * 1.1, "mbps={}", ms[0].mbps);
+    }
+}

@@ -1,0 +1,273 @@
+//! Ring and random communication patterns (§4, "On communication
+//! patterns"), including the remainder rules of the paper's six ring
+//! patterns and the `ring_numbers.c` partition algorithm.
+//!
+//! A *pattern* assigns every rank a left and a right neighbor inside
+//! its ring. Rings of size 2 have `left == right` (the two messages of
+//! an iteration go to the same peer).
+
+use beff_netsim::Rng64;
+use serde::Serialize;
+
+/// A communication pattern: per-rank (left, right) neighbors, plus a
+/// descriptive name and whether it belongs to the random family.
+#[derive(Debug, Clone, Serialize)]
+pub struct Pattern {
+    pub name: String,
+    pub random: bool,
+    /// neighbor pair per rank: (left, right)
+    pub neighbors: Vec<(usize, usize)>,
+    /// ring sizes, for the protocol report
+    pub ring_sizes: Vec<usize>,
+}
+
+/// Partition `n` ranks into rings of target size `s` following the
+/// paper's remainder rules:
+///
+/// * remainder 0 — all rings of size `s`;
+/// * `r ≤ s/2` and enough rings — `r` rings of `s+1`;
+/// * else if enough rings — `s−r` rings of `s−1`;
+/// * else — greedy fill with a final split of the remainder.
+///
+/// Reproduces the published examples: size 4 → "1*3, 1*5, or 2*5";
+/// size 8 → "3*7 … 1*7, 1*9 … 4*9"; 29 = 7+7+7+8; 28 = 4*7.
+pub fn ring_sizes(n: usize, s: usize) -> Vec<usize> {
+    assert!(n >= 1 && s >= 2);
+    // Too few ranks for two full rings: one ring holds everyone (the
+    // paper's "less or equal 7 → one ring" rule for target 4).
+    if n < 2 * s {
+        return vec![n];
+    }
+    let k = n / s;
+    let r = n % s;
+    if r == 0 {
+        return vec![s; k];
+    }
+    if r <= s / 2 && r <= k {
+        // r rings of s+1, the rest of size s
+        let mut v = vec![s + 1; r];
+        v.extend(std::iter::repeat_n(s, k - r));
+        return v;
+    }
+    if s - r <= k + 1 && s >= 3 {
+        // s-r rings of s-1, the rest (k+1-(s-r)) of size s
+        let a = s - r;
+        let b = k + 1 - a;
+        let mut v = vec![s; b];
+        v.extend(std::iter::repeat_n(s - 1, a));
+        return v;
+    }
+    // fallback: rings of s while more than 2s remain, then split the
+    // rest into two roughly equal rings (each >= 2)
+    let mut v = Vec::new();
+    let mut left = n;
+    while left > 2 * s {
+        v.push(s);
+        left -= s;
+    }
+    if left > s + 1 {
+        v.push(left / 2);
+        v.push(left - left / 2);
+    } else {
+        v.push(left);
+    }
+    v
+}
+
+/// The six target ring sizes of the paper for `n` ranks (clamped to
+/// the world size; small worlds repeat the full ring).
+pub fn ring_targets(n: usize) -> [usize; 6] {
+    let clamp2n = |t: usize| t.min(n).max(2);
+    [
+        2,
+        clamp2n(4),
+        clamp2n(8),
+        clamp2n(16.max(n / 4)),
+        clamp2n(32.max(n / 2)),
+        n.max(2),
+    ]
+}
+
+/// Build the neighbor table for rings over `order` (ranks in ring
+/// order, consecutive ranks share a ring per `sizes`).
+fn neighbors_from_rings(order: &[usize], sizes: &[usize]) -> Vec<(usize, usize)> {
+    let n = order.len();
+    debug_assert_eq!(sizes.iter().sum::<usize>(), n, "ring sizes must cover all ranks");
+    let mut out = vec![(usize::MAX, usize::MAX); n];
+    let mut base = 0usize;
+    for &sz in sizes {
+        for i in 0..sz {
+            let me = order[base + i];
+            let left = order[base + (i + sz - 1) % sz];
+            let right = order[base + (i + 1) % sz];
+            out[me] = (left, right);
+        }
+        base += sz;
+    }
+    debug_assert!(out.iter().all(|&(l, r)| l != usize::MAX && r != usize::MAX));
+    out
+}
+
+/// The six ring patterns on natural rank order.
+pub fn ring_patterns(n: usize) -> Vec<Pattern> {
+    let order: Vec<usize> = (0..n).collect();
+    ring_targets(n)
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let sizes = ring_sizes(n, s);
+            Pattern {
+                name: format!("ring-{} (target {s})", i + 1),
+                random: false,
+                neighbors: neighbors_from_rings(&order, &sizes),
+                ring_sizes: sizes,
+            }
+        })
+        .collect()
+}
+
+/// The six random patterns: the same ring layouts over a seeded random
+/// permutation of the ranks (a fresh permutation per pattern).
+pub fn random_patterns(n: usize, seed: u64) -> Vec<Pattern> {
+    let mut rng = Rng64::new(seed);
+    ring_targets(n)
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let order = rng.permutation(n);
+            let sizes = ring_sizes(n, s);
+            Pattern {
+                name: format!("random-{} (target {s})", i + 1),
+                random: true,
+                neighbors: neighbors_from_rings(&order, &sizes),
+                ring_sizes: sizes,
+            }
+        })
+        .collect()
+}
+
+/// Messages sent per iteration of a pattern (2 per rank: one to each
+/// neighbor) — the message count of the bandwidth formula.
+pub fn messages_per_iteration(n: usize) -> u64 {
+    2 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(n: usize, sizes: &[usize]) {
+        assert_eq!(sizes.iter().sum::<usize>(), n, "sizes {sizes:?} for n={n}");
+        assert!(sizes.iter().all(|&s| s >= 2), "ring of <2: {sizes:?}");
+    }
+
+    #[test]
+    fn pattern1_rings_of_two_and_three() {
+        assert_eq!(ring_sizes(6, 2), vec![2, 2, 2]);
+        // 7 ranks: paper's example — 0&1, 2&3, 4&5&6
+        let v = ring_sizes(7, 2);
+        check_cover(7, &v);
+        assert!(v.contains(&3));
+        assert_eq!(v.iter().filter(|&&s| s == 2).count(), 2);
+    }
+
+    #[test]
+    fn pattern2_remainders_match_paper() {
+        // "the last rings may have the sizes 1*3, 1*5, or 2*5"
+        assert_eq!(ring_sizes(9, 4), vec![5, 4]); // 1*5
+        assert_eq!(ring_sizes(10, 4), vec![5, 5]); // 2*5
+        let v = ring_sizes(11, 4); // 1*3
+        check_cover(11, &v);
+        assert!(v.contains(&3));
+        // n <= 7: one ring
+        assert_eq!(ring_sizes(7, 4), vec![7]);
+        assert_eq!(ring_sizes(4, 4), vec![4]);
+    }
+
+    #[test]
+    fn pattern3_remainders_match_paper() {
+        // "3*7, ... 1*7, 1*9, ... 4*9"
+        assert_eq!(ring_sizes(33, 8), vec![9, 8, 8, 8]); // 1*9
+        assert_eq!(ring_sizes(36, 8), vec![9, 9, 9, 9]); // 4*9
+        assert_eq!(ring_sizes(29, 8), vec![8, 7, 7, 7]); // 29 = 7+7+7+8
+        assert_eq!(ring_sizes(28, 8), vec![7, 7, 7, 7]); // 4*7
+        let v = ring_sizes(39, 8); // r=7 -> 1*7
+        check_cover(39, &v);
+        assert_eq!(v.iter().filter(|&&s| s == 7).count(), 1);
+    }
+
+    #[test]
+    fn all_sizes_cover_for_many_n() {
+        for n in 2..=200 {
+            for s in [2, 4, 8, 16, 32] {
+                check_cover(n, &ring_sizes(n, s));
+            }
+        }
+    }
+
+    #[test]
+    fn targets_follow_min_max_rules() {
+        assert_eq!(ring_targets(128), [2, 4, 8, 32, 64, 128]);
+        assert_eq!(ring_targets(512), [2, 4, 8, 128, 256, 512]);
+        assert_eq!(ring_targets(24), [2, 4, 8, 16, 24, 24]);
+        assert_eq!(ring_targets(2), [2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn neighbors_are_mutual_along_rings() {
+        for n in [2usize, 5, 7, 16, 33] {
+            for p in ring_patterns(n) {
+                for (me, &(l, r)) in p.neighbors.iter().enumerate() {
+                    // my right neighbor's left neighbor is me
+                    assert_eq!(p.neighbors[r].0, me, "{} n={n} me={me}", p.name);
+                    assert_eq!(p.neighbors[l].1, me, "{} n={n} me={me}", p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_of_two_has_left_equal_right() {
+        let p = &ring_patterns(4)[0]; // rings of 2
+        for &(l, r) in &p.neighbors {
+            assert_eq!(l, r);
+        }
+    }
+
+    #[test]
+    fn six_plus_six_patterns() {
+        assert_eq!(ring_patterns(16).len(), 6);
+        assert_eq!(random_patterns(16, 1).len(), 6);
+    }
+
+    #[test]
+    fn random_patterns_are_deterministic_and_distinct() {
+        let a = random_patterns(32, 7);
+        let b = random_patterns(32, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.neighbors, y.neighbors);
+        }
+        let c = random_patterns(32, 8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.neighbors != y.neighbors));
+    }
+
+    #[test]
+    fn random_pattern_neighbors_are_permutation_consistent() {
+        for p in random_patterns(24, 3) {
+            for (me, &(l, r)) in p.neighbors.iter().enumerate() {
+                assert_eq!(p.neighbors[r].0, me, "{}", p.name);
+                assert_eq!(p.neighbors[l].1, me, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn last_pattern_is_one_big_ring() {
+        let ps = ring_patterns(10);
+        assert_eq!(ps[5].ring_sizes, vec![10]);
+        // in one ring of n, left/right differ for n > 2
+        for &(l, r) in &ps[5].neighbors {
+            assert_ne!(l, r);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The 21-value message-size ladder of b_eff (§4).
+//!
+//! 13 fixed sizes, 1 B … 4 kB (powers of two), then 8 geometrically
+//! spaced sizes from 4 kB up to `L_max`, with
+//! `L_max = min(128 MB, memory per processor / 128)` on systems with
+//! 32-bit `int` (we always apply the 128 MB cap — it is the safe
+//! interpretation for reproduction).
+
+use beff_netsim::{KB, MB};
+
+/// Number of sizes in the ladder.
+pub const NUM_SIZES: usize = 21;
+
+/// `L_max` rule.
+pub fn lmax(mem_per_proc: u64) -> u64 {
+    (mem_per_proc / 128).clamp(4 * KB, 128 * MB)
+}
+
+/// The full ladder: 1, 2, 4 … 4096 (13 values), then 4 kB·a^i for
+/// i = 1..8 with 4 kB·a^8 = L_max.
+pub fn message_sizes(lmax: u64) -> Vec<u64> {
+    assert!(lmax >= 4 * KB, "L_max below 4 kB is degenerate: {lmax}");
+    let mut sizes: Vec<u64> = (0..13).map(|i| 1u64 << i).collect(); // 1..4096
+    let a = (lmax as f64 / 4096.0).powf(1.0 / 8.0);
+    for i in 1..=8 {
+        let v = (4096.0 * a.powi(i)).round() as u64;
+        sizes.push(v);
+    }
+    // pin the endpoint exactly
+    *sizes.last_mut().expect("non-empty") = lmax;
+    debug_assert_eq!(sizes.len(), NUM_SIZES);
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beff_netsim::GB;
+
+    #[test]
+    fn lmax_is_mem_over_128_capped() {
+        assert_eq!(lmax(128 * MB), MB);
+        assert_eq!(lmax(GB), 8 * MB);
+        // 64 GB per proc would exceed the cap
+        assert_eq!(lmax(64 * GB), 128 * MB);
+        // tiny memory clamps up to 4 kB so the ladder stays valid
+        assert_eq!(lmax(1024), 4 * KB);
+    }
+
+    #[test]
+    fn ladder_has_21_strictly_increasing_sizes() {
+        let s = message_sizes(lmax(GB));
+        assert_eq!(s.len(), 21);
+        for w in s.windows(2) {
+            assert!(w[0] < w[1], "not increasing: {w:?}");
+        }
+    }
+
+    #[test]
+    fn ladder_fixed_part_is_powers_of_two() {
+        let s = message_sizes(8 * MB);
+        assert_eq!(&s[..13], &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]);
+    }
+
+    #[test]
+    fn ladder_ends_exactly_at_lmax() {
+        for mem in [256 * MB, GB, 16 * GB] {
+            let lm = lmax(mem);
+            let s = message_sizes(lm);
+            assert_eq!(*s.last().unwrap(), lm);
+        }
+    }
+
+    #[test]
+    fn variable_part_is_geometric() {
+        let lm = MB;
+        let s = message_sizes(lm);
+        let a = (lm as f64 / 4096.0).powf(1.0 / 8.0);
+        for i in 1..=8usize {
+            let expect = 4096.0 * a.powi(i as i32);
+            let got = s[12 + i] as f64;
+            assert!((got / expect - 1.0).abs() < 0.01, "i={i} got={got} expect={expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn tiny_lmax_rejected() {
+        message_sizes(1024);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ladder_is_strictly_increasing_and_ends_at_lmax(mem in (1u64 << 20)..(1u64 << 44)) {
+            let lm = lmax(mem);
+            let s = message_sizes(lm);
+            prop_assert_eq!(s.len(), NUM_SIZES);
+            for w in s.windows(2) {
+                prop_assert!(w[0] < w[1], "{:?}", s);
+            }
+            prop_assert_eq!(s[0], 1);
+            prop_assert_eq!(*s.last().unwrap(), lm);
+        }
+
+        #[test]
+        fn lmax_never_exceeds_cap_or_mem(mem in 0u64..(1u64 << 50)) {
+            let lm = lmax(mem);
+            prop_assert!(lm <= 128 * MB);
+            prop_assert!(lm >= 4 * KB);
+            if mem >= 512 * KB && mem <= 128 * MB * 128 {
+                prop_assert_eq!(lm, mem / 128);
+            }
+        }
+    }
+}

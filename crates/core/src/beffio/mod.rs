@@ -1,0 +1,30 @@
+//! The effective I/O bandwidth benchmark **b_eff_io** (paper §5).
+//!
+//! Five pattern types over the Table 2 chunk-size/time-unit grid, three
+//! access methods (initial write / rewrite / read), time-driven
+//! repetition with `T/3 · U/ΣU` budgets, segment-size derivation for
+//! the segmented types, and the weighted averaging that produces the
+//! single b_eff_io number:
+//!
+//! ```text
+//! type value    = bytes / (t_close - t_open)
+//! method value  = avg over types, scatter type double-weighted
+//! b_eff_io      = 0.25·write + 0.25·rewrite + 0.5·read
+//! ```
+
+pub mod access;
+pub mod patterns;
+pub mod random;
+pub mod result;
+pub mod run;
+pub mod schedule;
+pub mod segment;
+
+pub use access::{BeffIoConfig, Bufs, RunState};
+pub use patterns::{all_patterns, mpart, sum_u, ChunkBase, IoPattern, PatternType, PATTERN_TYPES};
+pub use result::{
+    AccessMethod, BeffIoResult, MethodRun, PatternDetail, TypeRun, ACCESS_METHODS,
+};
+pub use random::{run_random_io, RandomIoConfig, RandomIoPoint, RandomIoResult};
+pub use run::run_beff_io;
+pub use schedule::{pattern_time, Termination, TimeLoop};

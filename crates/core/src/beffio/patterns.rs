@@ -1,0 +1,340 @@
+//! The b_eff_io pattern table (paper Table 2 and Fig. 2): 43 pattern
+//! slots across five pattern types, with chunk sizes, per-call memory
+//! chunks, wellformed/non-wellformed variants and time units U
+//! (ΣU = 64).
+
+use beff_netsim::{KB, MB};
+use serde::Serialize;
+
+/// The five pattern types of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PatternType {
+    /// (0) strided collective access, scattering large memory chunks to
+    /// small disk chunks in one MPI-IO call.
+    Scatter = 0,
+    /// (1) strided collective access, one call per disk chunk, shared
+    /// file pointers.
+    Shared = 1,
+    /// (2) noncollective access, one separate file per MPI process.
+    Separate = 2,
+    /// (3) like (2) but the individual files are segments of one file.
+    Segmented = 3,
+    /// (4) like (3) with collective routines.
+    SegColl = 4,
+}
+
+pub const PATTERN_TYPES: [PatternType; 5] = [
+    PatternType::Scatter,
+    PatternType::Shared,
+    PatternType::Separate,
+    PatternType::Segmented,
+    PatternType::SegColl,
+];
+
+impl PatternType {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PatternType::Scatter => "scatter/collective",
+            PatternType::Shared => "shared/collective",
+            PatternType::Separate => "separate files/non-coll.",
+            PatternType::Segmented => "segmented/non-coll.",
+            PatternType::SegColl => "segmented/collective",
+        }
+    }
+
+    /// Do this type's accesses use collective routines (termination must
+    /// then be computed globally)?
+    pub fn collective(&self) -> bool {
+        matches!(self, PatternType::Scatter | PatternType::Shared | PatternType::SegColl)
+    }
+}
+
+/// Base chunk size of a pattern row ("l" column of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ChunkBase {
+    Fixed(u64),
+    /// M_PART = max(2 MB, memory of one node / 128).
+    Mpart,
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct IoPattern {
+    /// Pattern number (0..=42, Table 2 "No." column).
+    pub id: usize,
+    pub ptype: PatternType,
+    pub base: ChunkBase,
+    /// Non-wellformed: add 8 bytes to the wellformed chunk size.
+    pub plus8: bool,
+    /// Disk chunks per MPI-IO call (type 0 scatters several; 1 else).
+    pub chunks_per_call: u64,
+    /// Time unit U (share of the scheduled time; 0 = run exactly once).
+    pub u: u32,
+    /// "Fill up segment" slot of the segmented types (ids 33 and 42).
+    pub fillup: bool,
+}
+
+impl IoPattern {
+    /// Actual disk chunk size in bytes given M_PART.
+    pub fn l(&self, mpart: u64) -> u64 {
+        let base = match self.base {
+            ChunkBase::Fixed(b) => b,
+            ChunkBase::Mpart => mpart,
+        };
+        base + if self.plus8 { 8 } else { 0 }
+    }
+
+    /// Bytes moved per MPI-IO call ("L" column): `l · chunks_per_call`.
+    pub fn call_bytes(&self, mpart: u64) -> u64 {
+        self.l(mpart) * self.chunks_per_call
+    }
+
+    /// Index within the pattern's own type (0-based "No." column
+    /// restarted per type).
+    pub fn row(&self) -> usize {
+        match self.ptype {
+            PatternType::Scatter => self.id,
+            PatternType::Shared => self.id - 9,
+            PatternType::Separate => self.id - 17,
+            PatternType::Segmented => self.id - 25,
+            PatternType::SegColl => self.id - 34,
+        }
+    }
+
+    /// Index into the *standard* 8-row chunk-size ladder (warm-up 1 MB,
+    /// M_PART, 1 MB, 32 kB, 1 kB, 32 kB+8, 1 kB+8, 1 MB+8) that types
+    /// 1-4 use directly. Type 0's extra 2 MB-memory-chunk row (No. 2)
+    /// shares the 1 MB disk-chunk slot. Fill-up slots return 8.
+    pub fn std_row(&self) -> usize {
+        if self.fillup {
+            return 8;
+        }
+        match self.ptype {
+            PatternType::Scatter => [0, 1, 2, 2, 3, 4, 5, 6, 7][self.id],
+            _ => self.row(),
+        }
+    }
+
+    /// Human-readable chunk size ("1 MB", "32 kB +8B", "M_PART").
+    pub fn chunk_label(&self) -> String {
+        let base = match self.base {
+            ChunkBase::Fixed(b) if b == MB => "1 MB".to_string(),
+            ChunkBase::Fixed(b) if b == 32 * KB => "32 kB".to_string(),
+            ChunkBase::Fixed(b) if b == KB => "1 kB".to_string(),
+            ChunkBase::Fixed(b) => format!("{b} B"),
+            ChunkBase::Mpart => "M_PART".to_string(),
+        };
+        if self.plus8 {
+            format!("{base} +8B")
+        } else {
+            base
+        }
+    }
+}
+
+/// M_PART = max(2 MB, memory of one node / 128).
+pub fn mpart(mem_per_node: u64) -> u64 {
+    (mem_per_node / 128).max(2 * MB)
+}
+
+/// The eight (l, U) rows shared by types 1..4 — type differences are
+/// only in the U of the M_PART row (4 for type 1, 2 for types 2..4).
+fn standard_rows(mpart_u: u32) -> [(ChunkBase, bool, u32); 8] {
+    [
+        (ChunkBase::Fixed(MB), false, 0), // warm-up
+        (ChunkBase::Mpart, false, mpart_u),
+        (ChunkBase::Fixed(MB), false, 2),
+        (ChunkBase::Fixed(32 * KB), false, 1),
+        (ChunkBase::Fixed(KB), false, 1),
+        (ChunkBase::Fixed(32 * KB), true, 1),
+        (ChunkBase::Fixed(KB), true, 1),
+        (ChunkBase::Fixed(MB), true, 2),
+    ]
+}
+
+/// The complete Table 2 pattern list (43 slots, ΣU = 64).
+pub fn all_patterns() -> Vec<IoPattern> {
+    let mut v = Vec::with_capacity(43);
+    // --- type 0: scatter, collective; memory chunk ~1 MB per call ---
+    let t0: [(ChunkBase, bool, u64, u32); 9] = [
+        (ChunkBase::Fixed(MB), false, 1, 0), // No.0 warm-up
+        (ChunkBase::Mpart, false, 1, 4),     // No.1
+        (ChunkBase::Fixed(MB), false, 2, 4), // No.2: L = 2 MB
+        (ChunkBase::Fixed(MB), false, 1, 4), // No.3
+        (ChunkBase::Fixed(32 * KB), false, 32, 2), // No.4: L = 1 MB
+        (ChunkBase::Fixed(KB), false, 1024, 2),    // No.5: L = 1 MB
+        (ChunkBase::Fixed(32 * KB), true, 32, 2),  // No.6: L = 1 MB + 256 B
+        (ChunkBase::Fixed(KB), true, 1024, 2),     // No.7: L = 1 MB + 8 kB
+        (ChunkBase::Fixed(MB), true, 1, 2),        // No.8: L = 1 MB + 8 B
+    ];
+    for (i, &(base, plus8, cpc, u)) in t0.iter().enumerate() {
+        v.push(IoPattern {
+            id: i,
+            ptype: PatternType::Scatter,
+            base,
+            plus8,
+            chunks_per_call: cpc,
+            u,
+            fillup: false,
+        });
+    }
+    // --- types 1 and 2 ---
+    for (i, &(base, plus8, u)) in standard_rows(4).iter().enumerate() {
+        v.push(IoPattern {
+            id: 9 + i,
+            ptype: PatternType::Shared,
+            base,
+            plus8,
+            chunks_per_call: 1,
+            u,
+            fillup: false,
+        });
+    }
+    for (i, &(base, plus8, u)) in standard_rows(2).iter().enumerate() {
+        v.push(IoPattern {
+            id: 17 + i,
+            ptype: PatternType::Separate,
+            base,
+            plus8,
+            chunks_per_call: 1,
+            u,
+            fillup: false,
+        });
+    }
+    // --- types 3 and 4: the same rows + a fill-up slot ---
+    for (offset, ptype) in [(25, PatternType::Segmented), (34, PatternType::SegColl)] {
+        for (i, &(base, plus8, u)) in standard_rows(2).iter().enumerate() {
+            v.push(IoPattern {
+                id: offset + i,
+                ptype,
+                base,
+                plus8,
+                chunks_per_call: 1,
+                u,
+                fillup: false,
+            });
+        }
+        v.push(IoPattern {
+            id: offset + 8,
+            ptype,
+            base: ChunkBase::Fixed(MB),
+            plus8: false,
+            chunks_per_call: 1,
+            u: 0,
+            fillup: true,
+        });
+    }
+    v
+}
+
+/// ΣU over the whole table (the paper: 64).
+pub fn sum_u() -> u32 {
+    all_patterns().iter().map(|p| p.u).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_43_slots_and_sum_u_64() {
+        let ps = all_patterns();
+        assert_eq!(ps.len(), 43);
+        assert_eq!(sum_u(), 64);
+        // ids are dense 0..=42
+        for (i, p) in ps.iter().enumerate() {
+            assert_eq!(p.id, i);
+        }
+    }
+
+    #[test]
+    fn per_type_u_sums_match_paper() {
+        let ps = all_patterns();
+        let u_of = |t: PatternType| -> u32 {
+            ps.iter().filter(|p| p.ptype == t).map(|p| p.u).sum()
+        };
+        assert_eq!(u_of(PatternType::Scatter), 22);
+        assert_eq!(u_of(PatternType::Shared), 12);
+        assert_eq!(u_of(PatternType::Separate), 10);
+        assert_eq!(u_of(PatternType::Segmented), 10);
+        assert_eq!(u_of(PatternType::SegColl), 10);
+    }
+
+    #[test]
+    fn type0_memory_chunks_match_table2() {
+        let ps = all_patterns();
+        let mp = mpart(256 * MB); // = 2 MB floor
+        assert_eq!(ps[0].call_bytes(mp), MB);
+        assert_eq!(ps[1].call_bytes(mp), mp);
+        assert_eq!(ps[2].call_bytes(mp), 2 * MB);
+        assert_eq!(ps[4].call_bytes(mp), MB); // 32 x 32 kB
+        assert_eq!(ps[5].call_bytes(mp), MB); // 1024 x 1 kB
+        assert_eq!(ps[6].call_bytes(mp), MB + 256); // 32 x (32 kB + 8)
+        assert_eq!(ps[7].call_bytes(mp), MB + 8 * KB); // 1024 x (1 kB + 8)
+        assert_eq!(ps[8].call_bytes(mp), MB + 8);
+    }
+
+    #[test]
+    fn mpart_rule() {
+        assert_eq!(mpart(64 * MB), 2 * MB);
+        assert_eq!(mpart(512 * MB), 4 * MB);
+        assert_eq!(mpart(8 * 1024 * MB), 64 * MB);
+    }
+
+    #[test]
+    fn plus8_rows_are_non_wellformed() {
+        let ps = all_patterns();
+        let mp = mpart(0);
+        for p in &ps {
+            if p.plus8 {
+                assert_eq!(p.l(mp) % 8, 0, "still 8-aligned additive");
+                assert_ne!(p.l(mp) & (p.l(mp) - 1), 0, "must not be a power of two");
+            }
+        }
+    }
+
+    #[test]
+    fn std_rows_align_chunk_sizes_across_types() {
+        let ps = all_patterns();
+        for p in &ps {
+            if p.fillup {
+                assert_eq!(p.std_row(), 8);
+                continue;
+            }
+            let row = p.std_row();
+            assert!(row < 8, "{p:?}");
+            let reference = &ps[9 + row]; // type 1 row with that ladder slot
+            assert_eq!(p.base, reference.base, "row {row}: {p:?}");
+            assert_eq!(p.plus8, reference.plus8, "row {row}");
+        }
+    }
+
+    #[test]
+    fn warmup_rows_have_u_zero() {
+        let ps = all_patterns();
+        for id in [0usize, 9, 17, 25, 34] {
+            assert_eq!(ps[id].u, 0, "pattern {id} is a warm-up");
+        }
+        assert_eq!(ps[33].u, 0);
+        assert_eq!(ps[42].u, 0);
+        assert!(ps[33].fillup && ps[42].fillup);
+    }
+
+    #[test]
+    fn collectivity_by_type() {
+        assert!(PatternType::Scatter.collective());
+        assert!(PatternType::Shared.collective());
+        assert!(!PatternType::Separate.collective());
+        assert!(!PatternType::Segmented.collective());
+        assert!(PatternType::SegColl.collective());
+    }
+
+    #[test]
+    fn chunk_labels_render() {
+        let ps = all_patterns();
+        assert_eq!(ps[1].chunk_label(), "M_PART");
+        assert_eq!(ps[4].chunk_label(), "32 kB");
+        assert_eq!(ps[6].chunk_label(), "32 kB +8B");
+        assert_eq!(ps[13].chunk_label(), "1 kB");
+    }
+}

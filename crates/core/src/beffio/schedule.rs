@@ -1,0 +1,228 @@
+//! Time scheduling and loop-termination algorithms of b_eff_io.
+//!
+//! Each pattern gets `T/3 · U/ΣU` of the scheduled time `T` (a third
+//! per access method). Two termination algorithms are implemented:
+//!
+//! * [`Termination::RootCheck`] — the paper's released algorithm: after
+//!   every iteration, a barrier, the *root's* clock decides, and the
+//!   decision is broadcast. §5.4 observes this costs a barrier+bcast
+//!   per call — significant against a fast 1 kB access.
+//! * [`Termination::Geometric`] — the paper's proposed fix: check only
+//!   at geometrically growing iteration counts.
+//!
+//! Noncollective patterns check their local clock directly.
+
+use beff_mpi::{Comm, ReduceOp};
+use beff_netsim::Secs;
+use serde::Serialize;
+
+/// Collective loop-termination algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Termination {
+    /// Barrier + root decision + broadcast after every iteration.
+    RootCheck,
+    /// Geometric series of repeating factors between global checks.
+    Geometric,
+}
+
+/// Time share of one pattern: `T/3 · U/ΣU`.
+pub fn pattern_time(t_sched: Secs, u: u32, sum_u: u32) -> Secs {
+    t_sched / 3.0 * u as f64 / sum_u as f64
+}
+
+/// Driver for a time-bounded pattern loop.
+pub struct TimeLoop {
+    deadline: Secs,
+    collective: bool,
+    termination: Termination,
+    iter: u64,
+    next_check: u64,
+    /// Hard iteration cap (safety net; `u64::MAX` = none).
+    max_iters: u64,
+}
+
+impl TimeLoop {
+    /// Start a loop with `budget` seconds from now. A zero/negative
+    /// budget yields exactly one iteration (the warm-up rule for
+    /// U = 0 patterns).
+    pub fn new(comm: &Comm, budget: Secs, collective: bool, termination: Termination) -> Self {
+        Self {
+            deadline: comm.now() + budget,
+            collective,
+            termination,
+            iter: 0,
+            next_check: 1,
+            max_iters: if budget > 0.0 { u64::MAX } else { 1 },
+        }
+    }
+
+    /// Cap the number of iterations regardless of time (used to stay
+    /// within the extent written by a previous access method).
+    pub fn with_max_iters(mut self, cap: u64) -> Self {
+        self.max_iters = self.max_iters.min(cap.max(1));
+        self
+    }
+
+    /// Iterations completed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iter
+    }
+
+    /// Decide whether to run another iteration; collective when the
+    /// pattern is collective (all ranks get the same answer).
+    pub fn next(&mut self, comm: &mut Comm) -> bool {
+        if self.iter >= self.max_iters {
+            // collective patterns already agree: max_iters and iter are
+            // identical on all ranks
+            return false;
+        }
+        if self.iter == 0 {
+            self.iter = 1;
+            return true; // always run at least one iteration
+        }
+        let goon = if !self.collective {
+            comm.now() < self.deadline
+        } else {
+            match self.termination {
+                Termination::RootCheck => {
+                    // the paper's algorithm: barrier, root reads its
+                    // clock, broadcast the decision
+                    comm.barrier();
+                    let flag = if comm.rank() == 0 {
+                        u64::from(comm.now() < self.deadline)
+                    } else {
+                        0
+                    };
+                    comm.bcast_u64(0, flag) == 1
+                }
+                Termination::Geometric => {
+                    if self.iter < self.next_check {
+                        true
+                    } else {
+                        self.next_check = self.iter * 2;
+                        let remain = self.deadline - comm.now();
+                        // one cheap collective per geometric boundary
+                        let worst = comm.allreduce_scalar(-remain, ReduceOp::Max);
+                        worst < 0.0
+                    }
+                }
+            }
+        };
+        if goon {
+            self.iter += 1;
+        }
+        goon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beff_mpi::World;
+    use beff_netsim::{MachineNet, NetParams, Topology};
+    use std::sync::Arc;
+
+    #[test]
+    fn pattern_time_shares() {
+        // T = 960 s, U = 4, ΣU = 64: (960/3) * 4/64 = 20 s
+        assert!((pattern_time(960.0, 4, 64) - 20.0).abs() < 1e-12);
+        assert_eq!(pattern_time(960.0, 0, 64), 0.0);
+    }
+
+    fn sim(n: usize) -> World {
+        let net =
+            Arc::new(MachineNet::new(Topology::Crossbar { procs: n }, NetParams::default()));
+        World::sim(net)
+    }
+
+    #[test]
+    fn zero_budget_runs_exactly_once() {
+        let iters = sim(2).run(|c| {
+            let mut lp = TimeLoop::new(c, 0.0, true, Termination::RootCheck);
+            let mut k = 0;
+            while lp.next(c) {
+                k += 1;
+                c.compute(1e-3);
+            }
+            k
+        });
+        assert_eq!(iters, vec![1, 1]);
+    }
+
+    #[test]
+    fn root_check_stops_all_ranks_after_same_iteration() {
+        let iters = sim(4).run(|c| {
+            let mut lp = TimeLoop::new(c, 0.05, true, Termination::RootCheck);
+            while lp.next(c) {
+                // rank-dependent work: clocks drift apart, but the root
+                // decision must keep iteration counts equal
+                c.compute(1e-3 * (1.0 + c.rank() as f64));
+            }
+            lp.iterations()
+        });
+        assert!(iters.iter().all(|&k| k == iters[0]), "{iters:?}");
+        assert!(iters[0] >= 2);
+    }
+
+    #[test]
+    fn geometric_stops_all_ranks_after_same_iteration() {
+        let iters = sim(4).run(|c| {
+            let mut lp = TimeLoop::new(c, 0.05, true, Termination::Geometric);
+            while lp.next(c) {
+                c.compute(2e-3);
+            }
+            lp.iterations()
+        });
+        assert!(iters.iter().all(|&k| k == iters[0]), "{iters:?}");
+    }
+
+    #[test]
+    fn geometric_checks_less_often_so_loops_run_faster() {
+        // With a per-iteration barrier the virtual time per iteration
+        // includes collective latency; geometric amortizes it.
+        let run = |term: Termination| -> f64 {
+            let out = sim(8).run(move |c| {
+                let mut lp = TimeLoop::new(c, 0.02, true, term);
+                while lp.next(c) {
+                    c.compute(1e-5); // fast access, like a cached 1 kB op
+                }
+                lp.iterations() as f64
+            });
+            out[0]
+        };
+        let root = run(Termination::RootCheck);
+        let geo = run(Termination::Geometric);
+        assert!(
+            geo > 1.5 * root,
+            "geometric must complete more iterations: geo={geo} root={root}"
+        );
+    }
+
+    #[test]
+    fn noncollective_uses_local_clock() {
+        let iters = sim(2).run(|c| {
+            let mut lp = TimeLoop::new(c, 0.01, false, Termination::RootCheck);
+            while lp.next(c) {
+                c.compute(1e-3);
+            }
+            lp.iterations()
+        });
+        // ~10 iterations of 1 ms in a 10 ms budget
+        for k in iters {
+            assert!((8..=12).contains(&k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn max_iters_caps_the_loop() {
+        let iters = sim(2).run(|c| {
+            let mut lp =
+                TimeLoop::new(c, 100.0, false, Termination::RootCheck).with_max_iters(5);
+            while lp.next(c) {
+                c.compute(1e-6);
+            }
+            lp.iterations()
+        });
+        assert_eq!(iters, vec![5, 5]);
+    }
+}

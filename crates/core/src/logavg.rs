@@ -1,0 +1,93 @@
+//! Averaging utilities of the b_eff definition (§4).
+//!
+//! The effective bandwidth is built from *logarithmic* averages
+//! (geometric means): rings and random patterns are each averaged on
+//! the logarithmic scale, and the final value is the logarithmic
+//! average of those two, so that the two pattern families carry equal
+//! weight regardless of how many patterns each contains.
+
+/// Logarithmic average (geometric mean). Zero/negative entries make the
+/// result 0 — a pattern that moved no bytes annihilates the average,
+/// which is the conservative choice for a benchmark.
+pub fn logavg(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    if xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().map(|&x| x.ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Logarithmic average of two values (the final b_eff combination step).
+pub fn logavg2(a: f64, b: f64) -> f64 {
+    logavg(&[a, b])
+}
+
+/// Arithmetic mean (used over the 21 message sizes: `sum_L(...)/21`).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Weighted arithmetic mean.
+pub fn weighted_mean(pairs: &[(f64, f64)]) -> f64 {
+    let wsum: f64 = pairs.iter().map(|p| p.1).sum();
+    if wsum == 0.0 {
+        return 0.0;
+    }
+    pairs.iter().map(|p| p.0 * p.1).sum::<f64>() / wsum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logavg_of_equal_values_is_the_value() {
+        assert!((logavg(&[5.0, 5.0, 5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logavg_is_geometric_mean() {
+        assert!((logavg(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((logavg2(4.0, 16.0) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logavg_bounded_by_min_max() {
+        let xs = [3.0, 7.0, 19.0, 2.5];
+        let v = logavg(&xs);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(0.0, f64::max);
+        assert!(v >= min && v <= max);
+    }
+
+    #[test]
+    fn logavg_below_arithmetic_mean() {
+        let xs = [1.0, 2.0, 30.0];
+        assert!(logavg(&xs) <= mean(&xs));
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        assert_eq!(logavg(&[0.0, 10.0]), 0.0);
+        assert_eq!(logavg(&[]), 0.0);
+    }
+
+    #[test]
+    fn weighted_mean_weights() {
+        // the access-method weighting of b_eff_io: 25/25/50
+        let v = weighted_mean(&[(100.0, 0.25), (200.0, 0.25), (400.0, 0.5)]);
+        assert!((v - 275.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_zero_weights() {
+        assert_eq!(weighted_mean(&[(5.0, 0.0)]), 0.0);
+        assert_eq!(weighted_mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The machine-model type: everything needed to instantiate a paper
+//! evaluation system as a simulated network + filesystem.
+
+use beff_netsim::{MachineNet, NetParams, Topology};
+use beff_pfs::{Pfs, PfsConfig};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// A calibrated model of one evaluation system.
+#[derive(Debug, Clone, Serialize)]
+pub struct Machine {
+    /// Short identifier ("t3e", "sr8000-seq", …).
+    pub key: &'static str,
+    /// Full display name as in the paper's tables.
+    pub name: &'static str,
+    /// Total processors of the modeled configuration.
+    pub procs: usize,
+    /// Memory per processor (bytes) — sets L_max = min(128 MB, mem/128).
+    pub mem_per_proc: u64,
+    /// Memory per node (bytes) — sets M_PART for b_eff_io.
+    pub mem_per_node: u64,
+    /// Linpack R_max of the full configuration, MFlop/s (for Fig. 1).
+    pub rmax_mflops: f64,
+    pub topology: Topology,
+    pub net: NetParams,
+    /// I/O subsystem, when the paper evaluates I/O on this system.
+    pub io: Option<PfsConfig>,
+}
+
+impl Machine {
+    /// Instantiate the communication network.
+    pub fn network(&self) -> Arc<MachineNet> {
+        Arc::new(MachineNet::new(self.topology.clone(), self.net.clone()))
+    }
+
+    /// Instantiate a fresh filesystem (no data retention — benchmarks
+    /// price transfers only). Returns `None` when no I/O subsystem is
+    /// modeled.
+    pub fn filesystem(&self) -> Option<Arc<Pfs>> {
+        self.io.as_ref().map(|cfg| Arc::new(Pfs::new(cfg.clone())))
+    }
+
+    /// R_max prorated to a partition of `procs` processors.
+    pub fn rmax_for(&self, procs: usize) -> f64 {
+        self.rmax_mflops * procs as f64 / self.procs as f64
+    }
+
+    /// The machine configuration the paper would have used for a
+    /// partition of `procs` processors. Direct networks (torus) keep
+    /// their full size — a partition runs on a subset of nodes — but
+    /// SMP clusters are *installed* at the partition size (the paper's
+    /// 24-proc SR 8000 rows are 3-node systems, not 24 ranks scattered
+    /// over 16 nodes).
+    pub fn sized_for(&self, procs: usize) -> Machine {
+        let mut m = self.clone();
+        if let Topology::SmpCluster { ppn, placement, .. } = m.topology {
+            assert!(procs.is_multiple_of(ppn), "partition {procs} not a multiple of ppn {ppn}");
+            let nodes = procs / ppn;
+            m.topology = Topology::SmpCluster { nodes, ppn, placement };
+            m.rmax_mflops = self.rmax_for(procs);
+            m.procs = procs;
+            if let Some(io) = &mut m.io {
+                io.clients = procs;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beff_netsim::MB;
+
+    fn dummy() -> Machine {
+        Machine {
+            key: "dummy",
+            name: "Dummy",
+            procs: 8,
+            mem_per_proc: 128 * MB,
+            mem_per_node: 128 * MB,
+            rmax_mflops: 8000.0,
+            topology: Topology::Crossbar { procs: 8 },
+            net: NetParams::default(),
+            io: Some(PfsConfig { clients: 8, ..PfsConfig::default() }),
+        }
+    }
+
+    #[test]
+    fn network_matches_topology() {
+        let m = dummy();
+        assert_eq!(m.network().procs(), 8);
+    }
+
+    #[test]
+    fn rmax_prorates() {
+        let m = dummy();
+        assert_eq!(m.rmax_for(8), 8000.0);
+        assert_eq!(m.rmax_for(2), 2000.0);
+    }
+
+    #[test]
+    fn filesystem_instantiates() {
+        assert!(dummy().filesystem().is_some());
+    }
+
+    #[test]
+    fn sized_for_shrinks_smp_clusters_only() {
+        let flat = dummy().sized_for(4);
+        assert_eq!(flat.procs, 8, "crossbars keep their size");
+        let cluster = Machine {
+            topology: Topology::SmpCluster {
+                nodes: 16,
+                ppn: 8,
+                placement: beff_netsim::Placement::RoundRobin,
+            },
+            procs: 128,
+            rmax_mflops: 128_000.0,
+            ..dummy()
+        };
+        let small = cluster.sized_for(24);
+        assert_eq!(small.procs, 24);
+        assert_eq!(small.rmax_mflops, 24_000.0);
+        match small.topology {
+            Topology::SmpCluster { nodes, ppn, .. } => {
+                assert_eq!(nodes, 3);
+                assert_eq!(ppn, 8);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The paper's published numbers, embedded for side-by-side comparison
+//! in the benchmark harness output and EXPERIMENTS.md.
+
+use serde::Serialize;
+
+/// One row of the paper's Table 1 (all bandwidths in MByte/s).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    pub machine_key: &'static str,
+    pub procs: usize,
+    pub beff: f64,
+    pub beff_per_proc: f64,
+    /// L_max in MB.
+    pub lmax_mb: u64,
+    pub pingpong: Option<f64>,
+    pub beff_at_lmax: f64,
+    pub per_proc_at_lmax: f64,
+    pub ring_per_proc_at_lmax: f64,
+}
+
+/// Table 1 as printed in the paper.
+pub fn table1_paper() -> Vec<Table1Row> {
+    let r = |machine_key,
+             procs,
+             beff,
+             beff_per_proc,
+             lmax_mb,
+             pingpong: Option<f64>,
+             beff_at_lmax,
+             per_proc_at_lmax,
+             ring_per_proc_at_lmax| Table1Row {
+        machine_key,
+        procs,
+        beff,
+        beff_per_proc,
+        lmax_mb,
+        pingpong,
+        beff_at_lmax,
+        per_proc_at_lmax,
+        ring_per_proc_at_lmax,
+    };
+    vec![
+        r("t3e", 512, 19_919.0, 39.0, 1, Some(330.0), 50_018.0, 98.0, 193.0),
+        r("t3e", 256, 10_056.0, 39.0, 1, Some(330.0), 22_738.0, 89.0, 190.0),
+        r("t3e", 128, 5_620.0, 44.0, 1, Some(330.0), 12_664.0, 99.0, 195.0),
+        r("t3e", 64, 3_159.0, 49.0, 1, Some(330.0), 7_044.0, 110.0, 192.0),
+        r("t3e", 24, 1_522.0, 63.0, 1, Some(330.0), 3_407.0, 142.0, 205.0),
+        r("t3e", 2, 183.0, 91.0, 1, Some(330.0), 421.0, 210.0, 210.0),
+        r("sr8000-rr", 128, 3_695.0, 29.0, 8, Some(776.0), 11_609.0, 90.0, 105.0),
+        r("sr8000-rr", 24, 915.0, 38.0, 8, Some(741.0), 2_764.0, 115.0, 110.0),
+        r("sr8000-seq", 24, 1_806.0, 75.0, 8, Some(954.0), 5_415.0, 226.0, 400.0),
+        r("sr2201", 16, 528.0, 33.0, 2, None, 1_451.0, 91.0, 96.0),
+        r("sx5", 4, 5_439.0, 1_360.0, 2, None, 35_047.0, 8_762.0, 8_758.0),
+        r("sx4", 16, 9_670.0, 604.0, 2, None, 50_250.0, 3_141.0, 3_242.0),
+        r("sx4", 8, 5_766.0, 641.0, 2, None, 28_439.0, 3_555.0, 3_552.0),
+        r("sx4", 4, 2_622.0, 656.0, 2, None, 14_254.0, 3_564.0, 3_552.0),
+        r("hpv", 7, 435.0, 62.0, 8, None, 1_135.0, 162.0, 162.0),
+        r("sv1", 15, 1_445.0, 96.0, 4, Some(994.0), 5_591.0, 373.0, 375.0),
+    ]
+}
+
+/// Qualitative claims of §5.2 / Fig. 3 about I/O scaling, used by the
+/// Fig.-3 harness to annotate its output.
+pub const T3E_IO_CLAIM: &str =
+    "T3E: maximum near 32 procs, little variation from 8 to 128 (global resource)";
+pub const SP_IO_CLAIM: &str =
+    "IBM SP: tracks the number of nodes until it saturates (per-node injection bound)";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_rows_like_the_paper() {
+        let t = table1_paper();
+        assert_eq!(t.len(), 16);
+        // spot checks against the printed table
+        assert_eq!(t[0].beff, 19_919.0);
+        assert_eq!(t[8].ring_per_proc_at_lmax, 400.0);
+        assert_eq!(t[10].beff_per_proc, 1_360.0);
+    }
+
+    #[test]
+    fn per_proc_roughly_consistent() {
+        // The printed per-proc column is independently measured, not
+        // derived (e.g. SX-4/8: 5766/8 = 721 but the paper prints 641),
+        // so only a coarse consistency check is meaningful.
+        for row in table1_paper() {
+            let implied = row.beff / row.procs as f64;
+            let rel = (implied - row.beff_per_proc).abs() / row.beff_per_proc;
+            assert!(
+                rel < 0.15,
+                "{} {}: {implied} vs {}",
+                row.machine_key,
+                row.procs,
+                row.beff_per_proc
+            );
+        }
+    }
+
+    #[test]
+    fn every_row_has_a_machine() {
+        let catalog = crate::catalog();
+        for row in table1_paper() {
+            assert!(
+                catalog.iter().any(|m| m.key == row.machine_key),
+                "no machine for {}",
+                row.machine_key
+            );
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! The communicator: the MPI-like API the benchmarks are written
+//! against.
+//!
+//! A [`Comm`] is one rank's handle on a communication context. It
+//! bundles the world-shared mailboxes, the rank's clock and route
+//! cache, and a context id that isolates message matching between
+//! communicators (so `split`/`dup` behave like MPI communicators).
+//!
+//! Two send flavors exist:
+//!
+//! * [`Comm::send`] / [`Comm::isend`] — *semantic* messages whose bytes
+//!   matter (reductions, control records); bytes always travel.
+//! * [`Comm::payload_send`] / [`Comm::payload_isend`] — *benchmark
+//!   traffic*: in sim mode with `copy_data = false`, only the length
+//!   travels, so simulating a 512-proc machine does not shovel real
+//!   gigabytes through host memory.
+//!
+//! Virtual-time accounting (sim mode):
+//!
+//! * send: `clock += o_send`, then the network price is computed; the
+//!   clock waits until the sender-side port is free (`injected`) —
+//!   buffered-eager semantics;
+//! * recv: `clock = max(clock, arrival) + o_recv`.
+
+use crate::engine::{EngineCfg, RankState};
+use crate::mailbox::{Mailbox, Match};
+use crate::message::{Envelope, Payload, RecvInfo, Tag, COLLECTIVE_BASE};
+use crate::wire;
+use beff_netsim::Secs;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// State shared by every rank of a world (created by the runtime).
+pub struct WorldShared {
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) engine: EngineCfg,
+    pub(crate) next_ctx: AtomicU32,
+}
+
+impl WorldShared {
+    pub fn new(n: usize, engine: EngineCfg) -> Self {
+        Self {
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            engine,
+            // ctx 0 is the world communicator
+            next_ctx: AtomicU32::new(1),
+        }
+    }
+}
+
+/// A nonblocking send in flight.
+#[must_use = "a send request must be waited on"]
+#[derive(Debug)]
+pub struct SendReq {
+    injected: Secs,
+}
+
+/// A nonblocking receive in flight.
+#[must_use = "a recv request must be waited on"]
+#[derive(Debug)]
+pub struct RecvReq {
+    m: Match,
+}
+
+/// One rank's handle on one communicator.
+pub struct Comm {
+    shared: Arc<WorldShared>,
+    state: Rc<RefCell<RankState>>,
+    ctx: u32,
+    rank: usize,
+    /// ctx rank -> world rank
+    ranks: Arc<Vec<usize>>,
+    coll_seq: u32,
+}
+
+impl Comm {
+    /// Build the world communicator handle for `rank` (runtime use).
+    pub(crate) fn world(shared: Arc<WorldShared>, rank: usize, n: usize) -> Self {
+        let state = Rc::new(RefCell::new(RankState::new(&shared.engine)));
+        Self {
+            shared,
+            state,
+            ctx: 0,
+            rank,
+            ranks: Arc::new((0..n).collect()),
+            coll_seq: 0,
+        }
+    }
+
+    // ----- introspection ------------------------------------------------
+
+    /// This rank's number within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// This rank's number in the world communicator.
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.ranks[self.rank]
+    }
+
+    /// Current (virtual or real) time in seconds.
+    #[inline]
+    pub fn now(&self) -> Secs {
+        self.state.borrow().clock.now()
+    }
+
+    /// True when running under the virtual-time engine.
+    pub fn is_sim(&self) -> bool {
+        self.shared.engine.is_sim()
+    }
+
+    /// Model local computation taking `dt` seconds (no-op in real mode,
+    /// where computation takes its own time).
+    pub fn compute(&mut self, dt: Secs) {
+        self.state.borrow_mut().clock.advance(dt);
+    }
+
+    /// Move the virtual clock to `t` if `t` is in the future (no-op in
+    /// real mode). Used by sibling layers (e.g. MPI-IO) that price
+    /// their own operations against shared resources.
+    pub fn advance_to(&mut self, t: Secs) {
+        self.state.borrow_mut().clock.advance_to(t);
+    }
+
+    /// Engine configuration (for layers that price their own costs,
+    /// like MPI-IO).
+    pub fn engine(&self) -> &EngineCfg {
+        &self.shared.engine
+    }
+
+    /// Shared per-rank state (clock + route cache) for sibling layers.
+    pub fn rank_state(&self) -> Rc<RefCell<RankState>> {
+        Rc::clone(&self.state)
+    }
+
+    // ----- point to point -----------------------------------------------
+
+    fn deliver(&self, dst: usize, tag: Tag, head: Secs, arrival: Secs, payload: Payload) {
+        let wdst = self.ranks[dst];
+        self.shared.mailboxes[wdst].push(Envelope {
+            ctx: self.ctx,
+            src: self.rank,
+            tag,
+            head,
+            arrival,
+            payload,
+        });
+    }
+
+    /// Price and deliver; returns sender-free time (0.0 in real mode).
+    fn do_send(&mut self, dst: usize, tag: Tag, payload: Payload) -> Secs {
+        assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
+        match &self.shared.engine {
+            EngineCfg::Real => {
+                self.deliver(dst, tag, 0.0, 0.0, payload);
+                0.0
+            }
+            EngineCfg::Sim { net, .. } => {
+                let (injected, head, finish) = {
+                    let mut st = self.state.borrow_mut();
+                    st.clock.advance(net.params().o_send);
+                    let t0 = st.clock.now();
+                    let wsrc = self.ranks[self.rank];
+                    let wdst = self.ranks[dst];
+                    let routes = st.routes.as_mut().expect("sim mode has routes");
+                    let sr = routes.split(wsrc, wdst);
+                    let eg = net.price_egress(&sr.egress, payload.len(), t0);
+                    (eg.injected, eg.head, eg.finish)
+                };
+                self.deliver(dst, tag, head, finish, payload);
+                injected
+            }
+        }
+    }
+
+    /// Blocking semantic send: bytes always travel.
+    pub fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) {
+        let injected = self.do_send(dst, tag, Payload::Data(data.to_vec()));
+        self.state.borrow_mut().clock.advance_to(injected);
+    }
+
+    /// Blocking benchmark send: bytes travel only if the engine copies
+    /// payload data.
+    pub fn payload_send(&mut self, dst: usize, tag: Tag, data: &[u8]) {
+        let p = self.make_payload(data);
+        let injected = self.do_send(dst, tag, p);
+        self.state.borrow_mut().clock.advance_to(injected);
+    }
+
+    /// Nonblocking semantic send.
+    pub fn isend(&mut self, dst: usize, tag: Tag, data: &[u8]) -> SendReq {
+        SendReq { injected: self.do_send(dst, tag, Payload::Data(data.to_vec())) }
+    }
+
+    /// Nonblocking benchmark send.
+    pub fn payload_isend(&mut self, dst: usize, tag: Tag, data: &[u8]) -> SendReq {
+        let p = self.make_payload(data);
+        SendReq { injected: self.do_send(dst, tag, p) }
+    }
+
+    fn make_payload(&self, data: &[u8]) -> Payload {
+        match &self.shared.engine {
+            EngineCfg::Sim { copy_data: false, .. } => Payload::Len(data.len() as u64),
+            _ => Payload::Data(data.to_vec()),
+        }
+    }
+
+    /// Does benchmark traffic carry real bytes? When `false`, kernels
+    /// may use the `*_len` fast paths and zero-length receive buffers.
+    pub fn copies_payload(&self) -> bool {
+        !matches!(&self.shared.engine, EngineCfg::Sim { copy_data: false, .. })
+    }
+
+    /// Blocking benchmark send of `len` synthetic bytes. Only valid in
+    /// no-copy simulation mode (real mode needs real bytes to measure).
+    pub fn payload_send_len(&mut self, dst: usize, tag: Tag, len: u64) {
+        assert!(!self.copies_payload(), "payload_send_len requires no-copy sim mode");
+        let injected = self.do_send(dst, tag, Payload::Len(len));
+        self.state.borrow_mut().clock.advance_to(injected);
+    }
+
+    /// Nonblocking variant of [`payload_send_len`](Self::payload_send_len).
+    pub fn payload_isend_len(&mut self, dst: usize, tag: Tag, len: u64) -> SendReq {
+        assert!(!self.copies_payload(), "payload_isend_len requires no-copy sim mode");
+        SendReq { injected: self.do_send(dst, tag, Payload::Len(len)) }
+    }
+
+    /// Complete a nonblocking send.
+    pub fn wait_send(&mut self, req: SendReq) {
+        self.state.borrow_mut().clock.advance_to(req.injected);
+    }
+
+    /// Apply receive timing: drain the message through the receiver's
+    /// ingress resources (its node memory + port-in), then pay o_recv.
+    fn apply_recv_time(&mut self, env: &Envelope) {
+        if let EngineCfg::Sim { net, .. } = &self.shared.engine {
+            let mut st = self.state.borrow_mut();
+            let wsrc = self.ranks[env.src];
+            let wdst = self.ranks[self.rank];
+            let routes = st.routes.as_mut().expect("sim mode has routes");
+            let sr = routes.split(wsrc, wdst);
+            let done =
+                net.price_ingress(&sr.ingress, env.payload.len(), env.head, env.arrival);
+            st.clock.advance_to(done);
+            st.clock.advance(net.params().o_recv);
+        }
+    }
+
+    /// Blocking receive into `buf`. `src`/`tag` of `None` are wildcards.
+    /// Panics if the message is longer than `buf`.
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<Tag>, buf: &mut [u8]) -> RecvInfo {
+        let env = self.shared.mailboxes[self.world_rank()]
+            .recv(Match { ctx: self.ctx, src, tag });
+        self.apply_recv_time(&env);
+        let len = env.payload.len();
+        if let Payload::Data(d) = &env.payload {
+            assert!(d.len() <= buf.len(), "recv buffer too small: {} < {}", buf.len(), d.len());
+            buf[..d.len()].copy_from_slice(d);
+        }
+        RecvInfo { src: env.src, tag: env.tag, len }
+    }
+
+    /// Blocking receive returning an owned payload (semantic paths).
+    pub fn recv_vec(&mut self, src: Option<usize>, tag: Option<Tag>) -> (Vec<u8>, RecvInfo) {
+        let env = self.shared.mailboxes[self.world_rank()]
+            .recv(Match { ctx: self.ctx, src, tag });
+        self.apply_recv_time(&env);
+        let info = RecvInfo { src: env.src, tag: env.tag, len: env.payload.len() };
+        let data = match env.payload {
+            Payload::Data(d) => d,
+            Payload::Len(_) => Vec::new(),
+        };
+        (data, info)
+    }
+
+    /// Post a nonblocking receive.
+    pub fn irecv(&mut self, src: Option<usize>, tag: Option<Tag>) -> RecvReq {
+        RecvReq { m: Match { ctx: self.ctx, src, tag } }
+    }
+
+    /// Complete a nonblocking receive.
+    pub fn wait_recv(&mut self, req: RecvReq) -> (Vec<u8>, RecvInfo) {
+        let env = self.shared.mailboxes[self.world_rank()].recv(req.m);
+        self.apply_recv_time(&env);
+        let info = RecvInfo { src: env.src, tag: env.tag, len: env.payload.len() };
+        let data = match env.payload {
+            Payload::Data(d) => d,
+            Payload::Len(_) => Vec::new(),
+        };
+        (data, info)
+    }
+
+    /// Nonblocking probe for a matching message.
+    pub fn iprobe(&self, src: Option<usize>, tag: Option<Tag>) -> bool {
+        self.shared.mailboxes[self.world_rank()].probe(Match { ctx: self.ctx, src, tag })
+    }
+
+    /// Combined send+receive (both transfers may overlap), the
+    /// `MPI_Sendrecv` the b_eff ring kernels use. Benchmark-payload
+    /// semantics on both sides.
+    pub fn payload_sendrecv(
+        &mut self,
+        dst: usize,
+        stag: Tag,
+        sdata: &[u8],
+        src: Option<usize>,
+        rtag: Option<Tag>,
+        rbuf: &mut [u8],
+    ) -> RecvInfo {
+        let sreq = self.payload_isend(dst, stag, sdata);
+        let info = self.recv(src, rtag, rbuf);
+        self.wait_send(sreq);
+        info
+    }
+
+    /// Semantic sendrecv (bytes travel).
+    pub fn sendrecv(
+        &mut self,
+        dst: usize,
+        stag: Tag,
+        sdata: &[u8],
+        src: Option<usize>,
+        rtag: Option<Tag>,
+    ) -> (Vec<u8>, RecvInfo) {
+        let sreq = self.isend(dst, stag, sdata);
+        let out = self.recv_vec(src, rtag);
+        self.wait_send(sreq);
+        out
+    }
+
+    // ----- collective support --------------------------------------------
+
+    /// Allocate the tag for the next collective operation. All ranks
+    /// call collectives in the same order per communicator, so the
+    /// sequence numbers agree.
+    pub(crate) fn next_coll_tag(&mut self) -> Tag {
+        self.coll_seq = self.coll_seq.wrapping_add(1);
+        COLLECTIVE_BASE + (self.coll_seq & 0x3FFF_FFFF)
+    }
+
+    /// Allocate a fresh collective-protocol tag for a sibling layer
+    /// (e.g. the MPI-IO two-phase exchange). Same agreement contract as
+    /// collectives: all ranks must allocate in the same order.
+    pub fn alloc_tag(&mut self) -> Tag {
+        self.next_coll_tag()
+    }
+
+    // ----- communicator management ----------------------------------------
+
+    /// Duplicate the communicator (fresh matching context, same group).
+    pub fn dup(&mut self) -> Comm {
+        self.split(Some(0), self.rank as i64).expect("dup keeps every rank")
+    }
+
+    /// Partition the communicator: ranks passing the same `color` end up
+    /// in the same new communicator, ordered by `(key, rank)`.
+    /// `None` color opts out (returns `None`, like MPI_UNDEFINED).
+    pub fn split(&mut self, color: Option<u32>, key: i64) -> Option<Comm> {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        // 1. everyone sends (color, key) to rank 0
+        let mut rec = Vec::with_capacity(16);
+        wire::put_u32(&mut rec, color.map_or(u32::MAX, |c| c));
+        wire::put_i64(&mut rec, key);
+        if self.rank == 0 {
+            let mut entries: Vec<(u32, i64, usize)> = Vec::with_capacity(n);
+            {
+                let mut r = wire::Reader::new(&rec);
+                entries.push((r.u32(), r.i64(), 0));
+            }
+            for _ in 1..n {
+                let (data, info) = self.recv_vec(None, Some(tag));
+                let mut r = wire::Reader::new(&data);
+                entries.push((r.u32(), r.i64(), info.src));
+            }
+            // 2. group by color, order by (key, rank)
+            let mut colors: Vec<u32> = entries
+                .iter()
+                .map(|e| e.0)
+                .filter(|&c| c != u32::MAX)
+                .collect();
+            colors.sort_unstable();
+            colors.dedup();
+            let mut replies: Vec<Option<Vec<u8>>> = vec![None; n];
+            for &c in &colors {
+                let new_ctx = self.shared.next_ctx.fetch_add(1, Ordering::Relaxed);
+                let mut members: Vec<(i64, usize)> = entries
+                    .iter()
+                    .filter(|e| e.0 == c)
+                    .map(|e| (e.1, e.2))
+                    .collect();
+                members.sort_unstable();
+                let world_ranks: Vec<usize> =
+                    members.iter().map(|&(_, r)| self.ranks[r]).collect();
+                for (new_rank, &(_, old_rank)) in members.iter().enumerate() {
+                    let mut buf = Vec::with_capacity(12 + 4 * world_ranks.len());
+                    wire::put_u32(&mut buf, new_ctx);
+                    wire::put_u32(&mut buf, new_rank as u32);
+                    wire::put_u32(&mut buf, world_ranks.len() as u32);
+                    for &w in &world_ranks {
+                        wire::put_u32(&mut buf, w as u32);
+                    }
+                    replies[old_rank] = Some(buf);
+                }
+            }
+            // 3. scatter the results (empty reply = opted out)
+            let my_reply = replies[0].take();
+            for (r, reply) in replies.into_iter().enumerate().skip(1) {
+                self.send(r, tag, &reply.unwrap_or_default());
+            }
+            my_reply.map(|buf| self.comm_from_reply(&buf))
+        } else {
+            self.send(0, tag, &rec);
+            let (reply, _) = self.recv_vec(Some(0), Some(tag));
+            if reply.is_empty() {
+                None
+            } else {
+                Some(self.comm_from_reply(&reply))
+            }
+        }
+    }
+
+    fn comm_from_reply(&self, buf: &[u8]) -> Comm {
+        let mut r = wire::Reader::new(buf);
+        let ctx = r.u32();
+        let rank = r.u32() as usize;
+        let n = r.u32() as usize;
+        let ranks: Vec<usize> = (0..n).map(|_| r.u32() as usize).collect();
+        Comm {
+            shared: Arc::clone(&self.shared),
+            state: Rc::clone(&self.state),
+            ctx,
+            rank,
+            ranks: Arc::new(ranks),
+            coll_seq: 0,
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Execution engines: real wall-clock vs virtual-time simulation.
+//!
+//! The engine decides three things:
+//!
+//! 1. what a rank's clock is ([`RankClock`]),
+//! 2. what a message transfer costs (nothing extra in real mode — the
+//!    actual memcpy through the mailbox *is* the cost; the
+//!    [`beff_netsim::MachineNet`] price in sim mode),
+//! 3. whether benchmark payloads are materialized (`copy_data`).
+
+use beff_netsim::{Clock, MachineNet, RealClock, RouteCache, Secs, VClock};
+use std::sync::Arc;
+
+/// World-level engine configuration, shared by all ranks.
+#[derive(Clone)]
+pub enum EngineCfg {
+    /// Host threads, wall-clock timing, payloads always copied.
+    Real,
+    /// Virtual time priced by a machine model.
+    Sim {
+        net: Arc<MachineNet>,
+        /// Materialize benchmark payload bytes (tests: `true`;
+        /// large-machine benchmarking: `false`).
+        copy_data: bool,
+    },
+}
+
+impl EngineCfg {
+    pub fn is_sim(&self) -> bool {
+        matches!(self, EngineCfg::Sim { .. })
+    }
+
+    /// Per-message sender CPU overhead.
+    pub fn o_send(&self) -> Secs {
+        match self {
+            EngineCfg::Real => 0.0,
+            EngineCfg::Sim { net, .. } => net.params().o_send,
+        }
+    }
+
+    /// Per-message receiver CPU overhead.
+    pub fn o_recv(&self) -> Secs {
+        match self {
+            EngineCfg::Real => 0.0,
+            EngineCfg::Sim { net, .. } => net.params().o_recv,
+        }
+    }
+}
+
+/// A rank's clock: real or virtual.
+#[derive(Debug)]
+pub enum RankClock {
+    Real(RealClock),
+    Virt(VClock),
+}
+
+impl RankClock {
+    #[inline]
+    pub fn now(&self) -> Secs {
+        match self {
+            RankClock::Real(c) => c.now(),
+            RankClock::Virt(c) => c.now(),
+        }
+    }
+    #[inline]
+    pub fn advance(&mut self, dt: Secs) {
+        if let RankClock::Virt(c) = self {
+            c.advance(dt);
+        }
+    }
+    #[inline]
+    pub fn advance_to(&mut self, t: Secs) {
+        if let RankClock::Virt(c) = self {
+            c.advance_to(t);
+        }
+    }
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, RankClock::Virt(_))
+    }
+}
+
+/// Mutable per-rank simulation state (clock, memoized routes, scratch).
+///
+/// Lives in an `Rc<RefCell<..>>` shared by all communicators of the
+/// rank so that time keeps flowing across `Comm::split`.
+pub struct RankState {
+    pub clock: RankClock,
+    pub routes: Option<RouteCache>,
+}
+
+impl RankState {
+    pub fn new(engine: &EngineCfg) -> Self {
+        match engine {
+            EngineCfg::Real => {
+                Self { clock: RankClock::Real(RealClock::new()), routes: None }
+            }
+            EngineCfg::Sim { net, .. } => Self {
+                clock: RankClock::Virt(VClock::new()),
+                routes: Some(RouteCache::new(net.topology().clone())),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beff_netsim::{NetParams, Topology};
+
+    #[test]
+    fn real_engine_has_zero_overheads() {
+        let e = EngineCfg::Real;
+        assert_eq!(e.o_send(), 0.0);
+        assert_eq!(e.o_recv(), 0.0);
+        assert!(!e.is_sim());
+    }
+
+    #[test]
+    fn sim_engine_reports_model_overheads() {
+        let net = Arc::new(MachineNet::new(
+            Topology::Crossbar { procs: 2 },
+            NetParams { o_send: 1e-6, o_recv: 2e-6, ..NetParams::default() },
+        ));
+        let e = EngineCfg::Sim { net, copy_data: true };
+        assert_eq!(e.o_send(), 1e-6);
+        assert_eq!(e.o_recv(), 2e-6);
+        assert!(e.is_sim());
+    }
+
+    #[test]
+    fn rank_clock_virtual_advances() {
+        let mut c = RankClock::Virt(VClock::new());
+        c.advance(1.0);
+        c.advance_to(0.5);
+        assert_eq!(c.now(), 1.0);
+        assert!(c.is_virtual());
+    }
+
+    #[test]
+    fn rank_state_matches_engine() {
+        let real = RankState::new(&EngineCfg::Real);
+        assert!(!real.clock.is_virtual());
+        assert!(real.routes.is_none());
+
+        let net = Arc::new(MachineNet::new(
+            Topology::Crossbar { procs: 2 },
+            NetParams::default(),
+        ));
+        let sim = RankState::new(&EngineCfg::Sim { net, copy_data: false });
+        assert!(sim.clock.is_virtual());
+        assert!(sim.routes.is_some());
+    }
+}

@@ -1,0 +1,43 @@
+//! # beff-mpi
+//!
+//! An MPI-like message-passing runtime for the b_eff / b_eff_io
+//! reproduction: thread-per-rank, blocking/nonblocking point-to-point
+//! with tag matching, collectives built over point-to-point,
+//! communicator split/dup, and Cartesian grid helpers.
+//!
+//! Two engines run the *same* benchmark code:
+//!
+//! * **Real** ([`World::real`]) — ranks are host threads, time is the
+//!   wall clock, data moves through shared-memory mailboxes. The host
+//!   machine is, in effect, a small SMP under test.
+//! * **Sim** ([`World::sim`]) — ranks are still host threads, but each
+//!   owns a virtual clock, and every operation is priced by a
+//!   [`beff_netsim::MachineNet`] model. Causality (blocking receives,
+//!   collectives) is enforced by real blocking, so if the MPI program
+//!   is deadlock-free the simulation is too; virtual timestamps flow
+//!   with the messages.
+//!
+//! ```
+//! use beff_mpi::World;
+//!
+//! let sums = World::real(4).run(|comm| {
+//!     comm.allreduce_scalar(comm.rank() as f64, beff_mpi::ReduceOp::Sum)
+//! });
+//! assert!(sums.iter().all(|&s| s == 6.0));
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod engine;
+pub mod mailbox;
+pub mod message;
+pub mod runtime;
+pub mod topology;
+pub mod wire;
+
+pub use collectives::ReduceOp;
+pub use comm::{Comm, RecvReq, SendReq};
+pub use engine::EngineCfg;
+pub use message::{Payload, RecvInfo, Tag};
+pub use runtime::World;
+pub use topology::{dims_create, CartGrid};

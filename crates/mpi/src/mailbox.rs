@@ -1,0 +1,241 @@
+//! Per-rank mailboxes with MPI-style matching.
+//!
+//! Each rank owns one [`Mailbox`]. Senders lock it and push; receivers
+//! block on a condvar until a matching envelope exists. A single sender
+//! pushes its messages in program order, so the MPI *non-overtaking*
+//! rule (messages between the same pair with the same tag arrive in
+//! order) holds by construction.
+
+use crate::message::{Envelope, Tag};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Matching pattern for a receive.
+#[derive(Debug, Clone, Copy)]
+pub struct Match {
+    /// Communicator context (always exact).
+    pub ctx: u32,
+    /// `None` = MPI_ANY_SOURCE.
+    pub src: Option<usize>,
+    /// `None` = MPI_ANY_TAG.
+    pub tag: Option<Tag>,
+}
+
+impl Match {
+    #[inline]
+    fn matches(&self, e: &Envelope) -> bool {
+        e.ctx == self.ctx
+            && self.src.is_none_or(|s| s == e.src)
+            && self.tag.is_none_or(|t| t == e.tag)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    q: VecDeque<Envelope>,
+    /// Set when the world aborts (a rank panicked); wakes blocked
+    /// receivers so they do not deadlock on a dead peer.
+    poisoned: bool,
+}
+
+/// Unexpected-message queue + wakeup for one rank.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver an envelope (called from the sender's thread).
+    pub fn push(&self, env: Envelope) {
+        self.inner.lock().q.push_back(env);
+        self.cond.notify_all();
+    }
+
+    /// Abort: wake every blocked receiver with a panic.
+    pub fn poison(&self) {
+        self.inner.lock().poisoned = true;
+        self.cond.notify_all();
+    }
+
+    /// Blocking receive of the first envelope matching `m` (in arrival
+    /// order, which preserves per-sender ordering).
+    ///
+    /// Panics if the world is poisoned (another rank died), so a failed
+    /// run aborts instead of deadlocking.
+    pub fn recv(&self, m: Match) -> Envelope {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(pos) = g.q.iter().position(|e| m.matches(e)) {
+                return g.q.remove(pos).expect("position just found");
+            }
+            if g.poisoned {
+                panic!("world aborted: a peer rank panicked");
+            }
+            self.cond.wait(&mut g);
+        }
+    }
+
+    /// Like [`recv`](Self::recv) but gives up after `timeout` (used by
+    /// deadlock-detecting tests). Returns `None` on timeout.
+    pub fn recv_timeout(&self, m: Match, timeout: Duration) -> Option<Envelope> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(pos) = g.q.iter().position(|e| m.matches(e)) {
+                return Some(g.q.remove(pos).expect("position just found"));
+            }
+            if g.poisoned {
+                return None;
+            }
+            if self.cond.wait_until(&mut g, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Nonblocking probe: does a matching message exist?
+    pub fn probe(&self, m: Match) -> bool {
+        self.inner.lock().q.iter().any(|e| m.matches(e))
+    }
+
+    /// Number of queued envelopes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().q.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().q.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+    use std::sync::Arc;
+
+    fn env(ctx: u32, src: usize, tag: Tag) -> Envelope {
+        Envelope { ctx, src, tag, head: 0.0, arrival: 0.0, payload: Payload::Len(0) }
+    }
+
+    #[test]
+    fn matches_by_src_and_tag() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 1, 10));
+        mb.push(env(0, 2, 20));
+        let e = mb.recv(Match { ctx: 0, src: Some(2), tag: Some(20) });
+        assert_eq!(e.src, 2);
+        let e = mb.recv(Match { ctx: 0, src: Some(1), tag: Some(10) });
+        assert_eq!(e.src, 1);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn any_source_takes_first_arrival() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 3, 7));
+        mb.push(env(0, 1, 7));
+        let e = mb.recv(Match { ctx: 0, src: None, tag: Some(7) });
+        assert_eq!(e.src, 3);
+    }
+
+    #[test]
+    fn context_isolation() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 0, 5));
+        assert!(!mb.probe(Match { ctx: 0, src: None, tag: None }));
+        assert!(mb.probe(Match { ctx: 1, src: None, tag: None }));
+    }
+
+    #[test]
+    fn non_overtaking_per_sender() {
+        let mb = Mailbox::new();
+        for i in 0..10u32 {
+            let mut e = env(0, 0, 1);
+            e.payload = Payload::Len(i as u64);
+            mb.push(e);
+        }
+        for i in 0..10u64 {
+            let e = mb.recv(Match { ctx: 0, src: Some(0), tag: Some(1) });
+            assert_eq!(e.payload.len(), i);
+        }
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || {
+            mb2.recv(Match { ctx: 0, src: Some(0), tag: Some(42) }).tag
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(env(0, 0, 42));
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let mb = Mailbox::new();
+        let r = mb.recv_timeout(
+            Match { ctx: 0, src: None, tag: None },
+            Duration::from_millis(10),
+        );
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn recv_timeout_returns_match() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 0, 1));
+        let r = mb.recv_timeout(
+            Match { ctx: 0, src: None, tag: None },
+            Duration::from_millis(10),
+        );
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn wildcard_tag_specific_source() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 5, 100));
+        mb.push(env(0, 6, 200));
+        let e = mb.recv(Match { ctx: 0, src: Some(6), tag: None });
+        assert_eq!(e.tag, 200);
+    }
+}
+
+#[cfg(test)]
+mod poison_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn poison_wakes_blocked_receiver_with_panic() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                mb2.recv(Match { ctx: 0, src: None, tag: None });
+            }));
+            r.is_err()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.poison();
+        assert!(h.join().unwrap(), "receiver must panic on poison");
+    }
+
+    #[test]
+    fn poisoned_recv_timeout_returns_none() {
+        let mb = Mailbox::new();
+        mb.poison();
+        assert!(mb
+            .recv_timeout(Match { ctx: 0, src: None, tag: None }, Duration::from_secs(5))
+            .is_none());
+    }
+}

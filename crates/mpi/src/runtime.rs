@@ -1,0 +1,411 @@
+//! The world runtime: spawn one thread per rank, hand each a
+//! [`Comm`], join, and return the per-rank results in rank order.
+//!
+//! If any rank panics, every mailbox is poisoned so that ranks blocked
+//! on the dead peer abort instead of deadlocking (the moral equivalent
+//! of `MPI_Abort`), and the first panic is re-thrown to the caller.
+
+use crate::comm::{Comm, WorldShared};
+use crate::engine::EngineCfg;
+use beff_netsim::MachineNet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Builder/launcher for a world of `n` ranks.
+#[derive(Clone)]
+pub struct World {
+    n: usize,
+    engine: EngineCfg,
+}
+
+impl World {
+    /// Real mode: `n` host threads, wall-clock timing.
+    pub fn real(n: usize) -> Self {
+        assert!(n > 0, "world needs at least one rank");
+        Self { n, engine: EngineCfg::Real }
+    }
+
+    /// Sim mode on the full machine (one rank per modeled proc).
+    pub fn sim(net: Arc<MachineNet>) -> Self {
+        let n = net.procs();
+        Self::sim_partition(net, n)
+    }
+
+    /// Sim mode on the first `n` procs of the machine (a *partition*,
+    /// as b_eff_io runs use).
+    pub fn sim_partition(net: Arc<MachineNet>, n: usize) -> Self {
+        assert!(n > 0, "world needs at least one rank");
+        assert!(
+            n <= net.procs(),
+            "partition of {n} ranks exceeds machine size {}",
+            net.procs()
+        );
+        Self { n, engine: EngineCfg::Sim { net, copy_data: false } }
+    }
+
+    /// Materialize benchmark payload bytes in sim mode (tests use this
+    /// to verify data integrity; big benchmark runs leave it off).
+    pub fn copy_data(mut self, yes: bool) -> Self {
+        if let EngineCfg::Sim { copy_data, .. } = &mut self.engine {
+            *copy_data = yes;
+        }
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Launch: run `f` on every rank, return results in rank order.
+    ///
+    /// Panics (re-raising the rank's payload) if any rank panics.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        let shared = Arc::new(WorldShared::new(self.n, self.engine.clone()));
+        let mut results: Vec<Option<R>> = Vec::with_capacity(self.n);
+        results.resize_with(self.n, || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.n);
+            for rank in 0..self.n {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut comm = Comm::world(Arc::clone(&shared), rank, shared.mailboxes.len());
+                    let out = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                    if out.is_err() {
+                        for mb in &shared.mailboxes {
+                            mb.poison();
+                        }
+                    }
+                    out
+                }));
+            }
+            let mut first_panic = None;
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join().expect("rank thread must not die outside catch_unwind") {
+                    Ok(r) => results[rank] = Some(r),
+                    Err(p) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(p);
+                        }
+                    }
+                }
+            }
+            if let Some(p) = first_panic {
+                resume_unwind(p);
+            }
+        });
+
+        results.into_iter().map(|r| r.expect("all ranks completed")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::ReduceOp;
+    use beff_netsim::{NetParams, Topology};
+
+    #[test]
+    fn real_world_runs_and_orders_results() {
+        let out = World::real(4).run(|c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn p2p_roundtrip_real() {
+        let out = World::real(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 5, b"hello");
+                let (d, info) = c.recv_vec(Some(1), Some(6));
+                assert_eq!(info.src, 1);
+                d
+            } else {
+                let (d, _) = c.recv_vec(Some(0), Some(5));
+                c.send(0, 6, &d);
+                d
+            }
+        });
+        assert_eq!(out[0], b"hello");
+    }
+
+    fn tiny_sim() -> World {
+        let net = Arc::new(MachineNet::new(
+            Topology::Crossbar { procs: 4 },
+            NetParams::default(),
+        ));
+        World::sim(net)
+    }
+
+    #[test]
+    fn sim_world_virtual_time_advances_on_traffic() {
+        let times = tiny_sim().run(|c| {
+            let peer = c.rank() ^ 1;
+            let mut buf = vec![0u8; 1024];
+            for _ in 0..10 {
+                c.payload_sendrecv(peer, 1, &buf.clone(), Some(peer), Some(1), &mut buf);
+            }
+            c.now()
+        });
+        for &t in &times {
+            assert!(t > 0.0, "virtual clock must advance: {times:?}");
+            assert!(t < 1.0, "10 x 1kB cannot take a virtual second: {times:?}");
+        }
+    }
+
+    #[test]
+    fn sim_copy_data_transfers_real_bytes() {
+        let out = tiny_sim().copy_data(true).run(|c| {
+            if c.rank() == 0 {
+                c.payload_send(1, 9, &[1, 2, 3, 4]);
+                Vec::new()
+            } else if c.rank() == 1 {
+                let mut buf = [0u8; 4];
+                c.recv(Some(0), Some(9), &mut buf);
+                buf.to_vec()
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(out[1], vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sim_without_copy_transfers_length_only() {
+        let out = tiny_sim().run(|c| {
+            if c.rank() == 0 {
+                c.payload_send(1, 9, &[7; 4096]);
+                0
+            } else if c.rank() == 1 {
+                let mut buf = [0u8; 4096];
+                let info = c.recv(Some(0), Some(9), &mut buf);
+                assert_eq!(buf[0], 0, "no bytes must be copied");
+                info.len
+            } else {
+                0
+            }
+        });
+        assert_eq!(out[1], 4096);
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_clocks() {
+        let times = tiny_sim().run(|c| {
+            // rank 0 does heavy local compute; the barrier must drag
+            // everyone to at least that time.
+            if c.rank() == 0 {
+                c.compute(1.0);
+            }
+            c.barrier();
+            c.now()
+        });
+        for &t in &times {
+            assert!(t >= 1.0, "barrier must propagate the latest clock: {times:?}");
+        }
+    }
+
+    #[test]
+    fn allreduce_max_agrees_everywhere() {
+        let out = World::real(5).run(|c| {
+            c.allreduce_scalar(c.rank() as f64, ReduceOp::Max)
+        });
+        assert!(out.iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn allreduce_sum_sim() {
+        let out = tiny_sim().run(|c| c.allreduce_scalar(1.0, ReduceOp::Sum));
+        assert!(out.iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = World::real(7).run(|c| {
+            let mut data = if c.rank() == 3 { b"payload".to_vec() } else { Vec::new() };
+            c.bcast(3, &mut data);
+            data
+        });
+        assert!(out.iter().all(|d| d == b"payload"));
+    }
+
+    #[test]
+    fn reduce_to_root_only() {
+        let out = World::real(6).run(|c| c.reduce_f64(2, &[1.0, 2.0], ReduceOp::Sum));
+        for (r, v) in out.iter().enumerate() {
+            if r == 2 {
+                assert_eq!(v.as_deref(), Some(&[6.0, 12.0][..]));
+            } else {
+                assert!(v.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn gather_bytes_collects_in_rank_order() {
+        let out = World::real(4).run(|c| c.gather_bytes(0, &[c.rank() as u8]));
+        let g = out[0].as_ref().unwrap();
+        assert_eq!(g.len(), 4);
+        for (i, d) in g.iter().enumerate() {
+            assert_eq!(d, &vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_ring_counts() {
+        // Each rank sends 4 bytes to left and right neighbors only.
+        let n = 6;
+        let out = World::real(n).run(|c| {
+            let r = c.rank();
+            let left = (r + n - 1) % n;
+            let right = (r + 1) % n;
+            let mut scounts = vec![0; n];
+            let mut sdispls = vec![0; n];
+            scounts[left] = 4;
+            scounts[right] = 4;
+            sdispls[left] = 0;
+            sdispls[right] = 4;
+            let sendbuf: Vec<u8> = vec![r as u8; 8];
+            let mut rcounts = vec![0; n];
+            let mut rdispls = vec![0; n];
+            rcounts[left] = 4;
+            rcounts[right] = 4;
+            rdispls[left] = 0;
+            rdispls[right] = 4;
+            let mut recvbuf = vec![0u8; 8];
+            c.payload_alltoallv(&sendbuf, &scounts, &sdispls, &mut recvbuf, &rcounts, &rdispls);
+            recvbuf
+        });
+        for (r, data) in out.iter().enumerate() {
+            let left = (r + n - 1) % n;
+            let right = (r + 1) % n;
+            assert_eq!(data[..4], vec![left as u8; 4][..]);
+            assert_eq!(data[4..], vec![right as u8; 4][..]);
+        }
+    }
+
+    #[test]
+    fn split_by_parity() {
+        let out = World::real(6).run(|c| {
+            let color = (c.rank() % 2) as u32;
+            let sub = c.split(Some(color), c.rank() as i64).unwrap();
+            (sub.rank(), sub.size(), sub.world_rank())
+        });
+        assert_eq!(out[0], (0, 3, 0));
+        assert_eq!(out[2], (1, 3, 2));
+        assert_eq!(out[4], (2, 3, 4));
+        assert_eq!(out[1], (0, 3, 1));
+        assert_eq!(out[5], (2, 3, 5));
+    }
+
+    #[test]
+    fn split_undefined_returns_none() {
+        let out = World::real(4).run(|c| {
+            if c.rank() == 3 {
+                c.split(None, 0).is_none()
+            } else {
+                let sub = c.split(Some(1), 0).unwrap();
+                sub.size() == 3
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn split_key_reverses_order() {
+        let out = World::real(4).run(|c| {
+            let sub = c.split(Some(0), -(c.rank() as i64)).unwrap();
+            sub.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn dup_isolates_contexts() {
+        let out = World::real(2).run(|c| {
+            let mut d = c.dup();
+            if c.rank() == 0 {
+                // same tag on both comms; matching must separate them
+                c.send(1, 77, b"base");
+                d.send(1, 77, b"dup");
+                0
+            } else {
+                let (on_dup, _) = d.recv_vec(Some(0), Some(77));
+                let (on_base, _) = c.recv_vec(Some(0), Some(77));
+                assert_eq!(on_dup, b"dup");
+                assert_eq!(on_base, b"base");
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn rank_panic_aborts_world() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            World::real(3).run(|c| {
+                if c.rank() == 1 {
+                    panic!("injected failure");
+                }
+                // ranks 0 and 2 would deadlock without poisoning
+                let (_d, _i) = c.recv_vec(Some(1), Some(1));
+            })
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn partition_smaller_than_machine() {
+        let net = Arc::new(MachineNet::new(
+            Topology::Torus3D { dims: [2, 2, 2] },
+            NetParams::default(),
+        ));
+        let out = World::sim_partition(net, 3).run(|c| c.size());
+        assert_eq!(out, vec![3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds machine size")]
+    fn oversized_partition_panics() {
+        let net = Arc::new(MachineNet::new(
+            Topology::Crossbar { procs: 2 },
+            NetParams::default(),
+        ));
+        let _ = World::sim_partition(net, 3);
+    }
+
+    #[test]
+    fn send_to_self_works() {
+        let out = World::real(1).run(|c| {
+            c.send(0, 1, b"self");
+            let (d, _) = c.recv_vec(Some(0), Some(1));
+            d
+        });
+        assert_eq!(out[0], b"self");
+    }
+
+    #[test]
+    fn sim_recv_time_is_at_least_arrival() {
+        let net = Arc::new(MachineNet::new(
+            Topology::Crossbar { procs: 2 },
+            NetParams::default(),
+        ));
+        let times = World::sim(net).run(|c| {
+            if c.rank() == 0 {
+                c.payload_send(1, 1, &vec![0u8; 1 << 20]);
+                c.now()
+            } else {
+                let mut buf = vec![0u8; 1 << 20];
+                c.recv(Some(0), Some(1), &mut buf);
+                c.now()
+            }
+        });
+        // the receiver finishes after the sender injected
+        assert!(times[1] >= times[0] * 0.5, "times={times:?}");
+        assert!(times[1] > 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Cartesian process-grid helpers (the `MPI_Dims_create` /
+//! `MPI_Cart_*` functionality the b_eff Cartesian patterns need).
+//!
+//! These are pure rank arithmetic: the benchmark computes its 2-D/3-D
+//! neighbors on the world communicator directly, exactly as the
+//! reference b_eff implementation does.
+
+/// Balanced factorization of `n` into `ndims` factors, non-increasing —
+/// the contract of `MPI_Dims_create` with all dims free.
+pub fn dims_create(n: usize, ndims: usize) -> Vec<usize> {
+    assert!(n > 0 && ndims > 0);
+    let mut dims = vec![1usize; ndims];
+    // distribute prime factors, largest first, onto the smallest dim
+    let mut factors = prime_factors(n);
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let min = dims
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &d)| d)
+            .map(|(i, _)| i)
+            .expect("ndims > 0");
+        dims[min] *= f;
+    }
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        while n.is_multiple_of(d) {
+            out.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// A periodic Cartesian grid laid over ranks `0..n` in row-major order
+/// (first dim varies slowest, like `MPI_Cart_create` with reorder off).
+#[derive(Debug, Clone)]
+pub struct CartGrid {
+    dims: Vec<usize>,
+}
+
+impl CartGrid {
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty() && dims.iter().all(|&d| d > 0));
+        Self { dims }
+    }
+
+    /// Build a balanced grid for `n` ranks in `ndims` dimensions.
+    pub fn balanced(n: usize, ndims: usize) -> Self {
+        Self::new(dims_create(n, ndims))
+    }
+
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    pub fn size(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Coordinates of `rank` (row-major).
+    pub fn coords_of(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.size());
+        let mut out = vec![0; self.dims.len()];
+        let mut rem = rank;
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            out[i] = rem % d;
+            rem /= d;
+        }
+        out
+    }
+
+    /// Rank at `coords` (coordinates taken modulo the grid — periodic).
+    pub fn rank_of(&self, coords: &[isize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len());
+        let mut rank = 0usize;
+        for (i, &d) in self.dims.iter().enumerate() {
+            let c = coords[i].rem_euclid(d as isize) as usize;
+            rank = rank * d + c;
+        }
+        rank
+    }
+
+    /// Periodic shift: the (source, destination) ranks of a shift by
+    /// `disp` along `dim`, viewed from `rank` (like `MPI_Cart_shift`).
+    pub fn shift(&self, rank: usize, dim: usize, disp: isize) -> (usize, usize) {
+        let coords = self.coords_of(rank);
+        let mut up: Vec<isize> = coords.iter().map(|&c| c as isize).collect();
+        let mut down = up.clone();
+        up[dim] += disp;
+        down[dim] -= disp;
+        (self.rank_of(&down), self.rank_of(&up))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_create_balanced() {
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(16, 2), vec![4, 4]);
+        assert_eq!(dims_create(24, 3), vec![4, 3, 2]);
+        assert_eq!(dims_create(64, 3), vec![4, 4, 4]);
+        assert_eq!(dims_create(7, 2), vec![7, 1]);
+        assert_eq!(dims_create(1, 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn dims_create_product_is_n() {
+        for n in 1..=128 {
+            for nd in 1..=3 {
+                let dims = dims_create(n, nd);
+                assert_eq!(dims.iter().product::<usize>(), n, "n={n} nd={nd}");
+                assert!(dims.windows(2).all(|w| w[0] >= w[1]), "non-increasing {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = CartGrid::new(vec![3, 4, 5]);
+        for r in 0..g.size() {
+            let c = g.coords_of(r);
+            let back: Vec<isize> = c.iter().map(|&x| x as isize).collect();
+            assert_eq!(g.rank_of(&back), r);
+        }
+    }
+
+    #[test]
+    fn row_major_layout() {
+        let g = CartGrid::new(vec![2, 3]);
+        assert_eq!(g.coords_of(0), vec![0, 0]);
+        assert_eq!(g.coords_of(1), vec![0, 1]);
+        assert_eq!(g.coords_of(3), vec![1, 0]);
+    }
+
+    #[test]
+    fn periodic_shift_wraps() {
+        let g = CartGrid::new(vec![4]);
+        // from rank 0, shift +1: source is 3, destination is 1
+        assert_eq!(g.shift(0, 0, 1), (3, 1));
+        assert_eq!(g.shift(3, 0, 1), (2, 0));
+        assert_eq!(g.shift(0, 0, -1), (1, 3));
+    }
+
+    #[test]
+    fn shift_2d() {
+        let g = CartGrid::new(vec![3, 3]);
+        // rank 4 is the center (1,1)
+        assert_eq!(g.shift(4, 0, 1), (1, 7)); // along slow dim
+        assert_eq!(g.shift(4, 1, 1), (3, 5)); // along fast dim
+    }
+
+    #[test]
+    fn negative_coords_wrap() {
+        let g = CartGrid::new(vec![5]);
+        assert_eq!(g.rank_of(&[-1]), 4);
+        assert_eq!(g.rank_of(&[-6]), 4);
+        assert_eq!(g.rank_of(&[7]), 2);
+    }
+}

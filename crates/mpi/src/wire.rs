@@ -1,0 +1,121 @@
+//! Tiny fixed-width serialization helpers for control messages
+//! (communicator splits, collective metadata). Not a general codec —
+//! just enough to move small records between ranks without pulling in
+//! a serialization framework on the hot path.
+
+/// Append a u32 (little endian).
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a u64 (little endian).
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an i64 (little endian).
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an f64 (little-endian bit pattern).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// A cursor for reading the records back.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    pub fn i64(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    pub fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Encode a slice of f64 (used by the reduction collectives).
+pub fn encode_f64s(vals: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(vals.len() * 8);
+    for &v in vals {
+        put_f64(&mut buf, v);
+    }
+    buf
+}
+
+/// Decode a slice of f64.
+pub fn decode_f64s(buf: &[u8]) -> Vec<f64> {
+    assert_eq!(buf.len() % 8, 0, "f64 array payload must be 8-byte aligned");
+    let mut r = Reader::new(buf);
+    let mut out = Vec::with_capacity(buf.len() / 8);
+    while r.remaining() > 0 {
+        out.push(r.f64());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_i64(&mut buf, -42);
+        put_f64(&mut buf, 2.5);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32(), 7);
+        assert_eq!(r.u64(), u64::MAX - 3);
+        assert_eq!(r.i64(), -42);
+        assert_eq!(r.f64(), 2.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn f64_slice_roundtrip() {
+        let vals = [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 1e-300];
+        assert_eq!(decode_f64s(&encode_f64s(&vals)), vals);
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let vals = [f64::NAN];
+        let back = decode_f64s(&encode_f64s(&vals));
+        assert!(back[0].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte aligned")]
+    fn ragged_f64_payload_panics() {
+        decode_f64s(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Stress and property tests for the MPI runtime: message storms with
+//! random sizes, collectives under random inputs, communicator algebra.
+
+use beff_mpi::{ReduceOp, World};
+use beff_netsim::{MachineNet, NetParams, Topology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn message_storm_all_to_one_preserves_everything() {
+    let n = 8;
+    let out = World::real(n).run(|c| {
+        if c.rank() == 0 {
+            let mut seen = vec![0u32; c.size()];
+            for _ in 0..(c.size() - 1) * 50 {
+                let (data, info) = c.recv_vec(None, Some(9));
+                assert_eq!(data.len(), 4);
+                let v = u32::from_le_bytes(data.try_into().unwrap());
+                assert_eq!(v as usize % c.size(), info.src);
+                seen[info.src] += 1;
+            }
+            seen.iter().skip(1).all(|&k| k == 50)
+        } else {
+            for i in 0..50u32 {
+                let v = i * c.size() as u32 + c.rank() as u32;
+                c.send(0, 9, &v.to_le_bytes());
+            }
+            true
+        }
+    });
+    assert!(out.iter().all(|&b| b));
+}
+
+#[test]
+fn interleaved_tags_match_independently() {
+    let out = World::real(2).run(|c| {
+        if c.rank() == 0 {
+            // send tag 2 first, then tag 1: receiver asks in reverse
+            c.send(1, 2, b"two");
+            c.send(1, 1, b"one");
+            true
+        } else {
+            let (a, _) = c.recv_vec(Some(0), Some(1));
+            let (b, _) = c.recv_vec(Some(0), Some(2));
+            a == b"one" && b == b"two"
+        }
+    });
+    assert!(out.iter().all(|&b| b));
+}
+
+#[test]
+fn virtual_time_never_decreases_per_rank() {
+    let net = Arc::new(MachineNet::new(
+        Topology::Torus2D { dims: [3, 3] },
+        NetParams::default(),
+    ));
+    let ok = World::sim(net).run(|c| {
+        let n = c.size();
+        let mut last = c.now();
+        let mut mono = true;
+        for round in 0..20 {
+            let shift = round % n;
+            let dst = (c.rank() + shift + 1) % n;
+            let src = (c.rank() + n - shift - 1) % n;
+            let sr = c.payload_isend(dst, 5, &[0; 128]);
+            let mut buf = [0u8; 128];
+            c.recv(Some(src), Some(5), &mut buf);
+            c.wait_send(sr);
+            mono &= c.now() >= last;
+            last = c.now();
+            c.barrier();
+            mono &= c.now() >= last;
+            last = c.now();
+        }
+        mono
+    });
+    assert!(ok.iter().all(|&b| b));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn allreduce_agrees_with_local_reduction(
+        vals in prop::collection::vec(-1e6f64..1e6, 4),
+        op_pick in 0u8..3,
+    ) {
+        let op = match op_pick {
+            0 => ReduceOp::Sum,
+            1 => ReduceOp::Max,
+            _ => ReduceOp::Min,
+        };
+        let vals = Arc::new(vals);
+        let expected = match op {
+            ReduceOp::Sum => vals.iter().sum::<f64>(),
+            ReduceOp::Max => vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            ReduceOp::Min => vals.iter().cloned().fold(f64::INFINITY, f64::min),
+        };
+        let out = World::real(4).run(|c| c.allreduce_scalar(vals[c.rank()], op));
+        for v in out {
+            prop_assert!((v - expected).abs() < 1e-6 * expected.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn bcast_any_root_any_payload(
+        root in 0usize..5,
+        payload in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let payload = Arc::new(payload);
+        let out = World::real(5).run(|c| {
+            let mut data = if c.rank() == root { (*payload).clone() } else { Vec::new() };
+            c.bcast(root, &mut data);
+            data
+        });
+        for d in out {
+            prop_assert_eq!(&d, &*payload);
+        }
+    }
+
+    #[test]
+    fn split_partitions_are_exact(colors in prop::collection::vec(0u32..3, 6)) {
+        let colors = Arc::new(colors);
+        let out = World::real(6).run(|c| {
+            let color = colors[c.rank()];
+            let sub = c.split(Some(color), c.rank() as i64).unwrap();
+            (color, sub.size(), sub.rank())
+        });
+        for want in 0u32..3 {
+            let members: Vec<_> = out.iter().filter(|(c, _, _)| *c == want).collect();
+            for (i, (_, size, rank)) in members.iter().enumerate() {
+                prop_assert_eq!(*size, members.len());
+                prop_assert_eq!(*rank, i, "ranks ordered by key=world rank");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_random_counts_roundtrip(seed in 0u64..1000) {
+        let n = 4usize;
+        let out = World::real(n).run(move |c| {
+            // deterministic pseudo-random counts known to all ranks
+            let count = |from: usize, to: usize| -> usize {
+                ((seed as usize).wrapping_mul(31) + from * 7 + to * 13) % 50
+            };
+            let r = c.rank();
+            let mut sendbuf = Vec::new();
+            let mut scounts = vec![0; n];
+            let mut sdispls = vec![0; n];
+            for to in 0..n {
+                sdispls[to] = sendbuf.len();
+                scounts[to] = count(r, to);
+                sendbuf.extend(std::iter::repeat_n((r * 16 + to) as u8, scounts[to]));
+            }
+            let mut rcounts = vec![0; n];
+            let mut rdispls = vec![0; n];
+            let mut total = 0;
+            for from in 0..n {
+                rdispls[from] = total;
+                rcounts[from] = count(from, r);
+                total += rcounts[from];
+            }
+            let mut recvbuf = vec![0u8; total];
+            c.payload_alltoallv(&sendbuf, &scounts, &sdispls, &mut recvbuf, &rcounts, &rdispls);
+            // verify contents
+            let mut ok = true;
+            for from in 0..n {
+                let seg = &recvbuf[rdispls[from]..rdispls[from] + rcounts[from]];
+                ok &= seg.iter().all(|&b| b == (from * 16 + r) as u8);
+            }
+            ok
+        });
+        prop_assert!(out.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,142 @@
+//! File views: the mapping from a rank's *view-linear* byte stream to
+//! physical file offsets (`MPI_File_set_view` with contiguous or
+//! strided filetypes).
+//!
+//! The b_eff_io pattern types use exactly two shapes:
+//!
+//! * [`FileView::Contiguous`] — identity plus displacement (types 1-4;
+//!   the segmented types use a per-rank displacement),
+//! * [`FileView::Strided`] — blocks of `block` bytes every `stride`
+//!   bytes (type 0: rank p sees chunks of size l at stride n·l,
+//!   displaced p·l).
+
+/// A segment of a physical file: (physical offset, length).
+pub type Segment = (u64, u64);
+
+/// How a rank's linear stream maps onto the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileView {
+    /// view offset v ↦ disp + v
+    Contiguous { disp: u64 },
+    /// view offset v ↦ disp + (v / block)·stride + (v mod block)
+    Strided { disp: u64, block: u64, stride: u64 },
+}
+
+impl Default for FileView {
+    fn default() -> Self {
+        FileView::Contiguous { disp: 0 }
+    }
+}
+
+impl FileView {
+    /// The physical offset of view-linear position `v`.
+    pub fn map_offset(&self, v: u64) -> u64 {
+        match *self {
+            FileView::Contiguous { disp } => disp + v,
+            FileView::Strided { disp, block, stride } => {
+                assert!(block > 0 && stride >= block, "degenerate strided view");
+                disp + (v / block) * stride + (v % block)
+            }
+        }
+    }
+
+    /// Map the view-linear range `[v, v+len)` to physical segments, in
+    /// file order, merging adjacent pieces.
+    pub fn map_range(&self, v: u64, len: u64) -> Vec<Segment> {
+        if len == 0 {
+            return Vec::new();
+        }
+        match *self {
+            FileView::Contiguous { disp } => vec![(disp + v, len)],
+            FileView::Strided { disp, block, stride } => {
+                assert!(block > 0 && stride >= block, "degenerate strided view");
+                let mut out: Vec<Segment> = Vec::new();
+                let mut pos = v;
+                let end = v + len;
+                while pos < end {
+                    let in_block = pos % block;
+                    let piece = (block - in_block).min(end - pos);
+                    let phys = disp + (pos / block) * stride + in_block;
+                    match out.last_mut() {
+                        Some(last) if last.0 + last.1 == phys => last.1 += piece,
+                        _ => out.push((phys, piece)),
+                    }
+                    pos += piece;
+                }
+                out
+            }
+        }
+    }
+
+    /// Is a range a single physical extent under this view?
+    pub fn is_contiguous(&self, v: u64, len: u64) -> bool {
+        self.map_range(v, len).len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_maps_identity_plus_disp() {
+        let view = FileView::Contiguous { disp: 100 };
+        assert_eq!(view.map_offset(5), 105);
+        assert_eq!(view.map_range(10, 20), vec![(110, 20)]);
+        assert!(view.is_contiguous(0, 1 << 40));
+    }
+
+    #[test]
+    fn strided_type0_shape() {
+        // pattern type 0: n = 4 ranks, chunk l = 100, rank p = 1
+        let (l, n, p) = (100u64, 4u64, 1u64);
+        let view = FileView::Strided { disp: p * l, block: l, stride: n * l };
+        // first chunk of rank 1 lives at [100, 200)
+        assert_eq!(view.map_offset(0), 100);
+        assert_eq!(view.map_offset(99), 199);
+        // second chunk starts at 100 + 400
+        assert_eq!(view.map_offset(100), 500);
+        let segs = view.map_range(0, 250);
+        assert_eq!(segs, vec![(100, 100), (500, 100), (900, 50)]);
+        assert!(!view.is_contiguous(0, 101));
+        assert!(view.is_contiguous(0, 100));
+    }
+
+    #[test]
+    fn strided_partial_start() {
+        let view = FileView::Strided { disp: 0, block: 10, stride: 40 };
+        let segs = view.map_range(5, 10);
+        assert_eq!(segs, vec![(5, 5), (40, 5)]);
+    }
+
+    #[test]
+    fn stride_equal_block_merges_to_contiguous() {
+        let view = FileView::Strided { disp: 7, block: 10, stride: 10 };
+        assert_eq!(view.map_range(0, 100), vec![(7, 100)]);
+    }
+
+    #[test]
+    fn map_range_total_length_is_preserved() {
+        let view = FileView::Strided { disp: 3, block: 17, stride: 64 };
+        for (v, len) in [(0u64, 1u64), (5, 100), (16, 18), (1000, 12345)] {
+            let segs = view.map_range(v, len);
+            assert_eq!(segs.iter().map(|s| s.1).sum::<u64>(), len);
+            // in file order, non-overlapping
+            for w in segs.windows(2) {
+                assert!(w[0].0 + w[0].1 <= w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range() {
+        let view = FileView::Strided { disp: 0, block: 8, stride: 32 };
+        assert!(view.map_range(5, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn stride_smaller_than_block_rejected() {
+        FileView::Strided { disp: 0, block: 10, stride: 5 }.map_offset(0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the MPI-IO layer: shared-pointer disjointness
+//! and ordered-write layout under arbitrary message sizes.
+
+use beff_mpi::World;
+use beff_mpiio::{AMode, Hints, IoWorld, MpiFile};
+use beff_netsim::{MachineNet, NetParams, Topology};
+use beff_pfs::{Pfs, PfsConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn world(n: usize) -> (World, Arc<IoWorld>) {
+    let net = Arc::new(MachineNet::new(Topology::Crossbar { procs: n }, NetParams::default()));
+    let pfs = Arc::new(Pfs::new(PfsConfig {
+        clients: n,
+        store_data: true,
+        ..PfsConfig::default()
+    }));
+    (World::sim(net).copy_data(true), IoWorld::sim(pfs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn write_shared_claims_are_disjoint_and_complete(
+        sizes in prop::collection::vec(1usize..5_000, 4),
+        rounds in 1usize..4,
+    ) {
+        let sizes = Arc::new(sizes);
+        let (w, io) = world(4);
+        let total_expected: u64 =
+            (sizes.iter().map(|&s| s as u64).sum::<u64>()) * rounds as u64;
+        let finals = w.run(|c| {
+            let mut f = MpiFile::open(c, &io, "ws", AMode::read_write_create(), Hints::default())
+                .unwrap();
+            let my = vec![c.rank() as u8 + 1; sizes[c.rank()]];
+            for _ in 0..rounds {
+                f.write_shared(c, &my);
+            }
+            c.barrier();
+            let (size, ptr) = (f.size(), f.shared_pos());
+            f.close(c);
+            (size, ptr)
+        });
+        for (size, ptr) in finals {
+            prop_assert_eq!(size, total_expected);
+            prop_assert_eq!(ptr, total_expected);
+        }
+    }
+
+    #[test]
+    fn write_ordered_layout_is_rank_major(
+        sizes in prop::collection::vec(1usize..2_000, 3),
+    ) {
+        let sizes = Arc::new(sizes);
+        let (w, io) = world(3);
+        let ok = w.run(|c| {
+            let mut f = MpiFile::open(c, &io, "wo", AMode::read_write_create(), Hints::default())
+                .unwrap();
+            let my = vec![c.rank() as u8 + 1; sizes[c.rank()]];
+            f.write_ordered(c, &my);
+            f.sync(c);
+            c.barrier();
+            let mut good = true;
+            if c.rank() == 0 {
+                let total: usize = sizes.iter().sum();
+                let mut buf = vec![0u8; total];
+                f.read_at(c, 0, &mut buf);
+                let mut pos = 0;
+                for (r, &len) in sizes.iter().enumerate() {
+                    good &= buf[pos..pos + len].iter().all(|&b| b == r as u8 + 1);
+                    pos += len;
+                }
+            }
+            f.close(c);
+            good
+        });
+        prop_assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn explicit_offsets_and_pointers_agree(
+        chunks in prop::collection::vec(1usize..3_000, 1..8),
+    ) {
+        let chunks = Arc::new(chunks);
+        let (w, io) = world(2);
+        let ok = w.run(|c| {
+            let mut f = MpiFile::open(c, &io, "eq", AMode::read_write_create(), Hints::default())
+                .unwrap();
+            let base = c.rank() as u64 * 1_000_000;
+            // write through the individual pointer
+            f.seek(base);
+            let mut all = Vec::new();
+            for (i, &len) in chunks.iter().enumerate() {
+                let data = vec![(i + 1 + c.rank() * 100) as u8; len];
+                f.write(c, &data);
+                all.extend_from_slice(&data);
+            }
+            f.sync(c);
+            // read back with explicit offsets
+            let mut back = vec![0u8; all.len()];
+            f.read_at(c, base, &mut back);
+            let good = back == all && f.tell() == base + all.len() as u64;
+            f.close(c);
+            good
+        });
+        prop_assert!(ok.iter().all(|&b| b));
+    }
+}

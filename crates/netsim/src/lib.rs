@@ -1,0 +1,40 @@
+//! # beff-netsim
+//!
+//! Discrete-event, virtual-time network model used as the interconnect
+//! substrate for the b_eff / b_eff_io benchmark reproduction.
+//!
+//! The model is a causal-timestamp (LogGP-style) simulation:
+//!
+//! * every MPI rank owns a [`clock::VClock`] (virtual seconds),
+//! * a message transfer is priced by [`model::MachineNet::transfer`],
+//!   which routes the message over the configured [`topology::Topology`]
+//!   and reserves occupancy on every traversed [`link::Link`],
+//! * contention emerges from link reservation: two messages crossing the
+//!   same wire at the same virtual time serialize.
+//!
+//! The same crate also provides [`resource::Resource`], the generic
+//! next-free-time reservation primitive reused by the parallel-filesystem
+//! simulator (`beff-pfs`) for disks and I/O servers.
+//!
+//! Nothing here depends on the MPI layer: this crate answers only
+//! "what does it cost", never "who is allowed to proceed".
+
+pub mod clock;
+pub mod link;
+pub mod model;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod routing;
+pub mod topology;
+pub mod units;
+
+pub use clock::{Clock, RealClock, VClock};
+pub use link::Link;
+pub use model::{Egress, MachineNet, NetParams, Tier, Transfer};
+pub use resource::Resource;
+pub use rng::Rng64;
+pub use stats::{traffic_report, KindStats, TrafficReport};
+pub use routing::RouteCache;
+pub use topology::{LinkKind, Placement, Topology};
+pub use units::{Secs, GB, KB, MB};

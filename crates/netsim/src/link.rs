@@ -1,0 +1,109 @@
+//! A network link: latency + per-byte occupancy over a [`Resource`].
+
+use crate::resource::Resource;
+use crate::units::Secs;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One serially-shared wire/port/bus of the interconnect.
+#[derive(Debug)]
+pub struct Link {
+    /// Time for the message head to appear at the far side.
+    pub latency: Secs,
+    /// Seconds per byte of occupancy (1 / bandwidth).
+    pub byte_time: Secs,
+    res: Resource,
+    /// Traffic counters (diagnostics): total bytes and messages.
+    bytes: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl Link {
+    pub fn new(latency: Secs, byte_time: Secs) -> Self {
+        Self {
+            latency,
+            byte_time,
+            res: Resource::new(),
+            bytes: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+        }
+    }
+
+    /// Push `bytes` through the link, with the head arriving at the link
+    /// entrance at `head`. Returns `(start, finish)` of the occupancy —
+    /// `start` is when the stream begins flowing on this link (so a
+    /// downstream link may begin then), `finish` is when the last byte
+    /// has crossed.
+    #[inline]
+    pub fn traverse(&self, head: Secs, bytes: u64) -> (Secs, Secs) {
+        let occ = bytes as f64 * self.byte_time;
+        let start = self.res.reserve(head + self.latency, occ);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        (start, start + occ)
+    }
+
+    /// Next-free time (diagnostics / tests).
+    pub fn horizon(&self) -> Secs {
+        self.res.horizon()
+    }
+
+    /// Total bytes that have crossed this link (diagnostics).
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages that have crossed this link (diagnostics).
+    pub fn messages_carried(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Reset occupancy and counters to idle (tests only).
+    pub fn reset(&self) {
+        self.res.reset();
+        self.bytes.store(0, Ordering::Relaxed);
+        self.messages.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_traverse_costs_latency_plus_bytes() {
+        let l = Link::new(1e-6, 1e-9); // 1 us, 1 GB/s
+        let (start, finish) = l.traverse(0.0, 1000);
+        assert!((start - 1e-6).abs() < 1e-15);
+        assert!((finish - (1e-6 + 1e-6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn contended_messages_serialize() {
+        let l = Link::new(0.0, 1e-6); // 1 MB/s, zero latency
+        let (_, f1) = l.traverse(0.0, 100);
+        let (s2, f2) = l.traverse(0.0, 100);
+        assert!((f1 - 1e-4).abs() < 1e-12);
+        assert!((s2 - 1e-4).abs() < 1e-12);
+        assert!((f2 - 2e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_byte_message_costs_latency_only() {
+        let l = Link::new(5e-6, 1e-9);
+        let (s, f) = l.traverse(1.0, 0);
+        assert_eq!(s, 1.0 + 5e-6);
+        assert_eq!(s, f);
+    }
+
+    #[test]
+    fn traffic_counters_accumulate_and_reset() {
+        let l = Link::new(0.0, 1e-9);
+        l.traverse(0.0, 100);
+        l.traverse(0.0, 200);
+        assert_eq!(l.bytes_carried(), 300);
+        assert_eq!(l.messages_carried(), 2);
+        l.reset();
+        assert_eq!(l.bytes_carried(), 0);
+        assert_eq!(l.messages_carried(), 0);
+    }
+}

@@ -1,0 +1,381 @@
+//! The machine network cost model.
+//!
+//! [`MachineNet`] combines a [`Topology`] with per-link-kind parameters
+//! ([`NetParams`]) and prices individual message transfers. The model is
+//! LogGP-flavored:
+//!
+//! * `o_send` / `o_recv` — per-message CPU overheads (applied to the
+//!   rank's virtual clock by the MPI engine),
+//! * per-link latency — head-of-message propagation,
+//! * per-link byte time — serial occupancy (1/bandwidth), reserved on
+//!   the link's [`Resource`](crate::resource::Resource) so that
+//!   concurrent messages crossing the same wire contend,
+//! * streaming/pipelining — a message occupies consecutive links in a
+//!   pipelined fashion, so an uncontended transfer costs
+//!   `sum(latencies) + bytes * max(byte_time)`, not the sum of
+//!   per-link transfer times.
+//!
+//! An optional **backplane** resource models machines whose aggregate
+//! memory bandwidth saturates before the per-proc ports do (classic
+//! shared-memory SMPs like the HP-V).
+
+use crate::link::Link;
+use crate::topology::{LinkKind, Topology};
+use crate::units::{byte_time, Secs};
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth pair for one link kind.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Tier {
+    /// Head latency in seconds.
+    pub latency: Secs,
+    /// Bandwidth in MByte/s (binary MB, matching the paper's units).
+    pub mbps: f64,
+}
+
+impl Tier {
+    pub const fn new(latency: Secs, mbps: f64) -> Self {
+        Self { latency, mbps }
+    }
+    #[inline]
+    pub fn byte_time(&self) -> Secs {
+        byte_time(self.mbps)
+    }
+}
+
+/// Cost parameters of a machine's communication subsystem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetParams {
+    /// Sender CPU overhead per message (seconds).
+    pub o_send: Secs,
+    /// Receiver CPU overhead per message (seconds).
+    pub o_recv: Secs,
+    /// Bandwidth of a rank-to-self message (local memcpy), MByte/s.
+    pub self_mbps: f64,
+    /// Per-proc transmit/receive port (each direction separately).
+    pub port: Tier,
+    /// Per-proc memory system: all inbound *and* outbound bytes cross
+    /// it, so bidirectional traffic halves the per-direction rate.
+    pub node_mem: Tier,
+    /// Ring/torus hop.
+    pub hop: Tier,
+    /// Reserved: SMP node bus aggregate (currently not routed — the
+    /// per-rank NodeMem lanes bound node throughput; see topology docs).
+    pub membus: Tier,
+    /// SMP node NIC (both directions).
+    pub nic: Tier,
+    /// Optional machine-wide aggregate bandwidth ceiling.
+    pub backplane: Option<Tier>,
+}
+
+impl Default for NetParams {
+    /// A generic, unremarkable MPP: ~10 us latency, ~300 MB/s ports,
+    /// ~1 GB/s hops. Machine crates override everything.
+    fn default() -> Self {
+        Self {
+            o_send: 3e-6,
+            o_recv: 3e-6,
+            self_mbps: 2000.0,
+            port: Tier::new(2e-6, 300.0),
+            node_mem: Tier::new(0.0, 330.0),
+            hop: Tier::new(0.5e-6, 1000.0),
+            membus: Tier::new(1e-6, 800.0),
+            nic: Tier::new(5e-6, 150.0),
+            backplane: None,
+        }
+    }
+}
+
+impl NetParams {
+    fn tier_for(&self, kind: LinkKind) -> Tier {
+        match kind {
+            LinkKind::PortOut | LinkKind::PortIn => self.port,
+            LinkKind::NodeMem => self.node_mem,
+            LinkKind::Hop => self.hop,
+            LinkKind::MemBus => self.membus,
+            LinkKind::NicOut | LinkKind::NicIn => self.nic,
+        }
+    }
+}
+
+/// Outcome of pricing one message (full-path form).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    /// When the sender-side resource is free again (send completion for
+    /// buffered/eager semantics).
+    pub injected: Secs,
+    /// When the last byte is available at the receiver.
+    pub arrival: Secs,
+}
+
+/// Outcome of pricing the egress portion of a message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Egress {
+    /// Sender-side completion (first egress resource free again).
+    pub injected: Secs,
+    /// When the stream began flowing on the last egress link (the
+    /// earliest the ingress side can start draining).
+    pub head: Secs,
+    /// When the last byte left the egress path.
+    pub finish: Secs,
+}
+
+/// A topology instantiated with links and ready to price transfers.
+#[derive(Debug)]
+pub struct MachineNet {
+    topo: Topology,
+    params: NetParams,
+    links: Vec<Link>,
+    backplane: Option<Link>,
+}
+
+impl MachineNet {
+    pub fn new(topo: Topology, params: NetParams) -> Self {
+        let links = (0..topo.num_links())
+            .map(|l| {
+                let tier = params.tier_for(topo.link_kind(l));
+                Link::new(tier.latency, tier.byte_time())
+            })
+            .collect();
+        let backplane = params.backplane.map(|t| Link::new(t.latency, t.byte_time()));
+        Self { topo, params, links, backplane }
+    }
+
+    pub fn procs(&self) -> usize {
+        self.topo.procs()
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// The instantiated links (diagnostics; indices match the
+    /// topology's link-id space).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Compute the link path for a message (delegates to the topology).
+    #[inline]
+    pub fn route_into(&self, src: usize, dst: usize, path: &mut Vec<usize>) {
+        self.topo.route_into(src, dst, path);
+    }
+
+    /// Price a transfer along a precomputed full `path` (empty =
+    /// self-message) with the last byte handed to the network at
+    /// `inject`. Prefer the split
+    /// [`price_egress`](Self::price_egress)/[`price_ingress`](Self::price_ingress)
+    /// pair, which the MPI engine uses so each rank's endpoint
+    /// resources are booked by its own thread.
+    pub fn price(&self, path: &[usize], bytes: u64, inject: Secs) -> Transfer {
+        let eg = self.price_egress(path, bytes, inject);
+        Transfer { injected: eg.injected, arrival: eg.finish }
+    }
+
+    /// Price the sender-side portion of a transfer: the sender's port
+    /// and node memory plus the network hops.
+    pub fn price_egress(&self, path: &[usize], bytes: u64, inject: Secs) -> Egress {
+        if path.is_empty() {
+            let t = inject + bytes as f64 * byte_time(self.params.self_mbps);
+            return Egress { injected: t, head: t, finish: t };
+        }
+        let mut head = inject;
+        let mut finish: Secs = inject;
+        let mut injected: Secs = inject;
+        for (i, &l) in path.iter().enumerate() {
+            let (start, fin) = self.links[l].traverse(head, bytes);
+            head = start;
+            if fin > finish {
+                finish = fin;
+            }
+            if i == 0 {
+                injected = fin;
+            }
+        }
+        if let Some(bp) = &self.backplane {
+            let (_, fin) = bp.traverse(inject, bytes);
+            if fin > finish {
+                finish = fin;
+            }
+        }
+        Egress { injected, head, finish }
+    }
+
+    /// Price the receiver-side drain of a message whose stream reached
+    /// the destination at `head` (start of the last egress occupancy)
+    /// and whose last byte left the network at `floor`. Called on the
+    /// receiving rank's thread, so the destination's memory and port-in
+    /// are scheduled by a single thread and pack tightly.
+    pub fn price_ingress(&self, path: &[usize], bytes: u64, head: Secs, floor: Secs) -> Secs {
+        let mut h = head;
+        let mut finish = floor;
+        for &l in path {
+            let (start, fin) = self.links[l].traverse(h, bytes);
+            h = start;
+            if fin > finish {
+                finish = fin;
+            }
+        }
+        finish
+    }
+
+    /// Route + price in one call (allocates; hot paths should cache the
+    /// route and call [`price`](Self::price)).
+    pub fn transfer(&self, src: usize, dst: usize, bytes: u64, inject: Secs) -> Transfer {
+        let mut path = Vec::new();
+        self.topo.route_into(src, dst, &mut path);
+        self.price(&path, bytes, inject)
+    }
+
+    /// Clear all link occupancy (tests / between independent runs).
+    pub fn reset(&self) {
+        for l in &self.links {
+            l.reset();
+        }
+        if let Some(bp) = &self.backplane {
+            bp.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MB;
+
+    fn crossbar(procs: usize, port_mbps: f64) -> MachineNet {
+        let params = NetParams {
+            o_send: 0.0,
+            o_recv: 0.0,
+            port: Tier::new(0.0, port_mbps),
+            backplane: None,
+            ..NetParams::default()
+        };
+        MachineNet::new(Topology::Crossbar { procs }, params)
+    }
+
+    #[test]
+    fn pingpong_streams_at_port_bandwidth() {
+        // With zero latency, a single large transfer is port-limited and
+        // pipelined: arrival ~= bytes/port_bw, not 2x.
+        let net = crossbar(2, 100.0);
+        let t = net.transfer(0, 1, 100 * MB, 0.0);
+        assert!((t.arrival - 1.0).abs() < 1e-6, "arrival={}", t.arrival);
+    }
+
+    #[test]
+    fn bidirectional_traffic_halves_per_direction_bandwidth() {
+        // Ports are duplex, but every byte in or out crosses the node
+        // memory: bidirectional traffic runs at half the one-way rate.
+        // This is the Table-1 ping-pong vs ring-per-proc mechanism.
+        let params = NetParams {
+            o_send: 0.0,
+            o_recv: 0.0,
+            port: Tier::new(0.0, 1000.0),
+            node_mem: Tier::new(0.0, 100.0),
+            ..NetParams::default()
+        };
+        let net = MachineNet::new(Topology::Crossbar { procs: 2 }, params);
+        let one_way = net.transfer(0, 1, 100 * MB, 0.0).arrival;
+        assert!((0.9..1.1).contains(&one_way), "one_way={one_way}");
+        net.reset();
+        let a = net.transfer(0, 1, 100 * MB, 0.0);
+        let b = net.transfer(1, 0, 100 * MB, 0.0);
+        let finish = a.arrival.max(b.arrival);
+        assert!(finish > 1.9 && finish < 2.2, "finish={finish}");
+    }
+
+    #[test]
+    fn self_message_uses_memcpy_bandwidth() {
+        let params = NetParams { self_mbps: 1000.0, ..NetParams::default() };
+        let net = MachineNet::new(Topology::Crossbar { procs: 2 }, params);
+        let t = net.transfer(0, 0, 1000 * MB, 0.0);
+        assert!((t.arrival - 1.0).abs() < 1e-6);
+        assert_eq!(t.injected, t.arrival);
+    }
+
+    #[test]
+    fn latency_accumulates_over_hops() {
+        let params = NetParams {
+            o_send: 0.0,
+            o_recv: 0.0,
+            port: Tier::new(1e-6, 1e9), // effectively infinite bw
+            node_mem: Tier::new(0.0, 1e9),
+            hop: Tier::new(1e-6, 1e9),
+            ..NetParams::default()
+        };
+        let net = MachineNet::new(Topology::Ring { procs: 8 }, params);
+        let near = net.transfer(0, 1, 0, 0.0).arrival; // 2 ports + 1 hop
+        assert!((near - 3e-6).abs() < 1e-12, "near={near}");
+        net.reset();
+        let far = net.transfer(0, 4, 0, 0.0).arrival; // 2 ports + 4 hops
+        assert!((far - 6e-6).abs() < 1e-12, "far={far}");
+    }
+
+    #[test]
+    fn backplane_caps_aggregate_bandwidth() {
+        let params = NetParams {
+            o_send: 0.0,
+            o_recv: 0.0,
+            port: Tier::new(0.0, 1000.0),
+            backplane: Some(Tier::new(0.0, 1000.0)),
+            ..NetParams::default()
+        };
+        let net = MachineNet::new(Topology::Crossbar { procs: 8 }, params);
+        // Four disjoint pairs, each port-limited at 1000 MB/s, but the
+        // backplane only carries 1000 MB/s in total.
+        let mut finish: f64 = 0.0;
+        for p in 0..4 {
+            let t = net.transfer(2 * p, 2 * p + 1, 250 * MB, 0.0);
+            finish = finish.max(t.arrival);
+        }
+        assert!(finish > 0.9 && finish < 1.1, "finish={finish}");
+    }
+
+    #[test]
+    fn injected_before_arrival_on_multihop() {
+        let net = MachineNet::new(Topology::Ring { procs: 16 }, NetParams::default());
+        let t = net.transfer(0, 8, MB, 0.0);
+        assert!(t.injected <= t.arrival);
+        assert!(t.injected > 0.0);
+    }
+
+    #[test]
+    fn contention_on_shared_hop_links() {
+        // Two messages that share hop links must take longer than two
+        // that do not.
+        let params = NetParams {
+            o_send: 0.0,
+            o_recv: 0.0,
+            port: Tier::new(0.0, 1e6),
+            hop: Tier::new(0.0, 100.0),
+            ..NetParams::default()
+        };
+        let net = MachineNet::new(Topology::Ring { procs: 8 }, params);
+        // 0->2 and 1->3 share the hop 1->2.
+        let a = net.transfer(0, 2, 100 * MB, 0.0);
+        let b = net.transfer(1, 3, 100 * MB, 0.0);
+        let shared = a.arrival.max(b.arrival);
+        net.reset();
+        // 0->2 and 4->6 share nothing.
+        let a = net.transfer(0, 2, 100 * MB, 0.0);
+        let b = net.transfer(4, 6, 100 * MB, 0.0);
+        let disjoint = a.arrival.max(b.arrival);
+        assert!(shared > 1.5 * disjoint, "shared={shared} disjoint={disjoint}");
+    }
+
+    #[test]
+    fn price_with_cached_route_matches_transfer() {
+        let net = MachineNet::new(Topology::Torus2D { dims: [4, 4] }, NetParams::default());
+        let mut path = Vec::new();
+        net.route_into(3, 9, &mut path);
+        let a = net.price(&path, MB, 0.0);
+        net.reset();
+        let b = net.transfer(3, 9, MB, 0.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,103 @@
+//! Route caching for hot communication paths.
+//!
+//! The b_eff inner loops send millions of messages between a handful of
+//! (src, dst) pairs; recomputing (and re-allocating) the link path per
+//! message would dominate simulation cost. [`RouteCache`] memoizes the
+//! paths a rank uses. One cache lives on each rank thread, so no
+//! synchronization is needed.
+
+use crate::topology::Topology;
+use std::collections::HashMap;
+
+/// A route split into sender-booked and receiver-booked halves.
+#[derive(Debug, Clone)]
+pub struct SplitRoute {
+    pub egress: Box<[usize]>,
+    pub ingress: Box<[usize]>,
+}
+
+/// Per-rank memo of (src, dst) → link path.
+#[derive(Debug)]
+pub struct RouteCache {
+    topo: Topology,
+    map: HashMap<(u32, u32), Box<[usize]>>,
+    split: HashMap<(u32, u32), SplitRoute>,
+}
+
+impl RouteCache {
+    pub fn new(topo: Topology) -> Self {
+        Self { topo, map: HashMap::new(), split: HashMap::new() }
+    }
+
+    /// The link path from `src` to `dst` (empty for self-messages).
+    pub fn path(&mut self, src: usize, dst: usize) -> &[usize] {
+        self.map
+            .entry((src as u32, dst as u32))
+            .or_insert_with(|| self.topo.route(src, dst).into_boxed_slice())
+    }
+
+    /// The split route from `src` to `dst` (both halves empty for
+    /// self-messages).
+    pub fn split(&mut self, src: usize, dst: usize) -> &SplitRoute {
+        self.split.entry((src as u32, dst as u32)).or_insert_with(|| {
+            let mut e = Vec::new();
+            let mut i = Vec::new();
+            self.topo.route_split_into(src, dst, &mut e, &mut i);
+            SplitRoute { egress: e.into_boxed_slice(), ingress: i.into_boxed_slice() }
+        })
+    }
+
+    /// Number of memoized pairs (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_same_path_as_topology() {
+        let topo = Topology::Torus2D { dims: [4, 4] };
+        let mut cache = RouteCache::new(topo.clone());
+        for s in 0..16 {
+            for d in 0..16 {
+                assert_eq!(cache.path(s, d), topo.route(s, d).as_slice());
+            }
+        }
+        assert_eq!(cache.len(), 256);
+    }
+
+    #[test]
+    fn cache_does_not_grow_on_repeats() {
+        let mut cache = RouteCache::new(Topology::Ring { procs: 8 });
+        cache.path(0, 1);
+        cache.path(0, 1);
+        cache.path(0, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn split_cache_matches_topology() {
+        let topo = Topology::Crossbar { procs: 4 };
+        let mut cache = RouteCache::new(topo.clone());
+        let sr = cache.split(1, 3).clone();
+        let (mut e, mut i) = (Vec::new(), Vec::new());
+        topo.route_split_into(1, 3, &mut e, &mut i);
+        assert_eq!(&*sr.egress, e.as_slice());
+        assert_eq!(&*sr.ingress, i.as_slice());
+        let sr2 = cache.split(2, 2);
+        assert!(sr2.egress.is_empty() && sr2.ingress.is_empty());
+    }
+
+    #[test]
+    fn self_path_is_empty() {
+        let mut cache = RouteCache::new(Topology::Crossbar { procs: 4 });
+        assert!(cache.path(2, 2).is_empty());
+    }
+}

@@ -1,0 +1,547 @@
+//! Interconnect topologies and rank placement.
+//!
+//! A topology maps a pair of ranks to the ordered list of *links* a
+//! message traverses. Links are identified by dense indices so the
+//! [`crate::model::MachineNet`] can keep them in a flat `Vec<Link>`.
+//!
+//! Every proc (or SMP node) has a **port** link that all its traffic —
+//! inbound *and* outbound — crosses. This is the memory/router
+//! interface of the node, and sharing it between directions is what
+//! makes a parallel bidirectional ring run at roughly *half* the
+//! ping-pong bandwidth per process, as the paper's Table 1 shows
+//! (T3E: 330 MB/s ping-pong vs ~193 MB/s per-proc ring at `L_max`).
+//!
+//! Supported shapes (covering the paper's evaluation systems):
+//!
+//! * [`Topology::Crossbar`] — contention-free switch, per-proc ports
+//!   (NEC SX, HP-V, SV1 style shared-memory machines: the "port" is the
+//!   processor's memory access path),
+//! * [`Topology::Ring`] / [`Topology::Torus2D`] / [`Topology::Torus3D`]
+//!   — direct networks with dimension-order routing over per-hop links
+//!   plus the per-node ports (Cray T3E is an 8×8×8 torus),
+//! * [`Topology::SmpCluster`] — nodes with `ppn` processes each, a
+//!   shared memory bus inside the node and NIC in/out ports between
+//!   nodes over a contention-free switch (Hitachi SR 8000, IBM SP).
+
+use serde::{Deserialize, Serialize};
+
+/// How consecutive MPI ranks are laid out on an SMP cluster.
+///
+/// The paper shows this matters enormously on the Hitachi SR 8000:
+/// *round-robin* placement makes ring neighbors land on different nodes
+/// (all traffic crosses NICs), *sequential* keeps most neighbors inside
+/// a node (fast shared memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// rank r lives on node `r / ppn` (fills one node before the next).
+    Sequential,
+    /// rank r lives on node `r % nodes`.
+    RoundRobin,
+}
+
+/// What role a link plays; the cost model assigns per-kind parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Per-proc transmit port (full-duplex send side).
+    PortOut,
+    /// Per-proc receive port (full-duplex receive side).
+    PortIn,
+    /// Per-proc memory system: every byte in or out crosses it. This is
+    /// what makes a bidirectional ring run at roughly half the
+    /// ping-pong rate per process (Table 1: T3E 330 vs ~193 MB/s).
+    NodeMem,
+    /// One directed hop of a ring/torus.
+    Hop,
+    /// Shared memory bus of one SMP node (aggregate over its ranks).
+    MemBus,
+    /// NIC transmit port of one node.
+    NicOut,
+    /// NIC receive port of one node.
+    NicIn,
+}
+
+/// Network shape. See module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    Crossbar { procs: usize },
+    Ring { procs: usize },
+    Torus2D { dims: [usize; 2] },
+    Torus3D { dims: [usize; 3] },
+    SmpCluster { nodes: usize, ppn: usize, placement: Placement },
+}
+
+impl Topology {
+    /// Number of MPI processes the topology hosts.
+    pub fn procs(&self) -> usize {
+        match *self {
+            Topology::Crossbar { procs } | Topology::Ring { procs } => procs,
+            Topology::Torus2D { dims } => dims[0] * dims[1],
+            Topology::Torus3D { dims } => dims[0] * dims[1] * dims[2],
+            Topology::SmpCluster { nodes, ppn, .. } => nodes * ppn,
+        }
+    }
+
+    /// Number of distinct links (dense link-id space `0..num_links()`).
+    pub fn num_links(&self) -> usize {
+        match *self {
+            Topology::Crossbar { procs } => 3 * procs,
+            Topology::Ring { procs } => 5 * procs,
+            Topology::Torus2D { dims } => 7 * dims[0] * dims[1],
+            Topology::Torus3D { dims } => 9 * dims[0] * dims[1] * dims[2],
+            Topology::SmpCluster { nodes, ppn, .. } => 3 * nodes * ppn + 2 * nodes,
+        }
+    }
+
+    /// Role of a link id (for per-kind cost parameters).
+    pub fn link_kind(&self, link: usize) -> LinkKind {
+        fn endpoint(link: usize, n: usize) -> Option<LinkKind> {
+            if link < n {
+                Some(LinkKind::PortOut)
+            } else if link < 2 * n {
+                Some(LinkKind::PortIn)
+            } else if link < 3 * n {
+                Some(LinkKind::NodeMem)
+            } else {
+                None
+            }
+        }
+        match *self {
+            Topology::Crossbar { procs } => endpoint(link, procs).expect("crossbar link id"),
+            Topology::Ring { procs } => endpoint(link, procs).unwrap_or(LinkKind::Hop),
+            Topology::Torus2D { dims } => {
+                endpoint(link, dims[0] * dims[1]).unwrap_or(LinkKind::Hop)
+            }
+            Topology::Torus3D { dims } => {
+                endpoint(link, dims[0] * dims[1] * dims[2]).unwrap_or(LinkKind::Hop)
+            }
+            Topology::SmpCluster { nodes, ppn, .. } => {
+                let p = nodes * ppn;
+                if link < p {
+                    LinkKind::PortOut
+                } else if link < 2 * p {
+                    LinkKind::PortIn
+                } else if link < 3 * p {
+                    LinkKind::NodeMem
+                } else if link < 3 * p + nodes {
+                    LinkKind::NicOut
+                } else {
+                    LinkKind::NicIn
+                }
+            }
+        }
+    }
+
+    /// SMP node hosting `rank` (identity for non-clustered shapes).
+    pub fn node_of(&self, rank: usize) -> usize {
+        match *self {
+            Topology::SmpCluster { nodes, ppn, placement } => match placement {
+                Placement::Sequential => rank / ppn,
+                Placement::RoundRobin => {
+                    debug_assert!(ppn > 0);
+                    rank % nodes
+                }
+            },
+            _ => rank,
+        }
+    }
+
+    /// Append the links a message from `src` to `dst` traverses, in
+    /// order, to `path`. `src == dst` yields an empty path (local copy,
+    /// priced separately by the model).
+    pub fn route_into(&self, src: usize, dst: usize, path: &mut Vec<usize>) {
+        path.clear();
+        if src == dst {
+            return;
+        }
+        match *self {
+            Topology::Crossbar { procs } => {
+                path.push(src); // port out
+                path.push(2 * procs + src); // node memory (send side)
+                path.push(2 * procs + dst); // node memory (recv side)
+                path.push(procs + dst); // port in
+            }
+            Topology::Ring { procs } => {
+                path.push(src);
+                path.push(2 * procs + src);
+                route_dim(src, dst, procs, 3 * procs, 4 * procs, path);
+                path.push(2 * procs + dst);
+                path.push(procs + dst);
+            }
+            Topology::Torus2D { dims } => {
+                let n = dims[0] * dims[1];
+                path.push(src);
+                path.push(2 * n + src);
+                let (sx, sy) = (src % dims[0], src / dims[0]);
+                let (dx, dy) = (dst % dims[0], dst / dims[0]);
+                // dimension-order: X first, then Y
+                let mut cur = (sx, sy);
+                while cur.0 != dx {
+                    let (nx, dir) = step(cur.0, dx, dims[0]);
+                    let node = cur.1 * dims[0] + cur.0;
+                    path.push(3 * n + dir * n + node);
+                    cur.0 = nx;
+                }
+                while cur.1 != dy {
+                    let (ny, dir) = step(cur.1, dy, dims[1]);
+                    let node = cur.1 * dims[0] + cur.0;
+                    path.push(3 * n + (2 + dir) * n + node);
+                    cur.1 = ny;
+                }
+                path.push(2 * n + dst);
+                path.push(n + dst);
+            }
+            Topology::Torus3D { dims } => {
+                let n = dims[0] * dims[1] * dims[2];
+                path.push(src);
+                path.push(2 * n + src);
+                let coord =
+                    |r: usize| (r % dims[0], (r / dims[0]) % dims[1], r / (dims[0] * dims[1]));
+                let (mut cx, mut cy, mut cz) = coord(src);
+                let (dx, dy, dz) = coord(dst);
+                let node = |x: usize, y: usize, z: usize| z * dims[0] * dims[1] + y * dims[0] + x;
+                while cx != dx {
+                    let (nx, dir) = step(cx, dx, dims[0]);
+                    path.push(3 * n + dir * n + node(cx, cy, cz));
+                    cx = nx;
+                }
+                while cy != dy {
+                    let (ny, dir) = step(cy, dy, dims[1]);
+                    path.push(3 * n + (2 + dir) * n + node(cx, cy, cz));
+                    cy = ny;
+                }
+                while cz != dz {
+                    let (nz, dir) = step(cz, dz, dims[2]);
+                    path.push(3 * n + (4 + dir) * n + node(cx, cy, cz));
+                    cz = nz;
+                }
+                path.push(2 * n + dst);
+                path.push(n + dst);
+            }
+            Topology::SmpCluster { nodes, ppn, .. } => {
+                let p = nodes * ppn;
+                let sn = self.node_of(src);
+                let dn = self.node_of(dst);
+                path.push(src); // port out
+                path.push(2 * p + src); // sender memory lane (banked)
+                if sn != dn {
+                    path.push(3 * p + sn); // NIC out
+                    path.push(3 * p + nodes + dn); // NIC in
+                }
+                path.push(2 * p + dst); // receiver memory lane
+                path.push(p + dst); // port in
+            }
+        }
+    }
+
+    /// Split a route into the **egress** part (booked by the sender:
+    /// its port-out, its node memory, the network hops) and the
+    /// **ingress** part (booked by the *receiver* when it drains the
+    /// message: destination node memory and port-in). Booking ingress
+    /// on the receiver's thread keeps each rank's endpoint resources
+    /// scheduled by a single thread, which packs them tightly — the
+    /// behaviour of real DMA/memory systems.
+    ///
+    /// Note the intra-node SMP case books the node bus twice (send-side
+    /// copy in egress, receive-side copy in ingress): message passing
+    /// over shared memory costs two memory transits, which is why the
+    /// paper observes "half of the memory-to-memory copy bandwidth" on
+    /// SMPs.
+    pub fn route_split_into(
+        &self,
+        src: usize,
+        dst: usize,
+        egress: &mut Vec<usize>,
+        ingress: &mut Vec<usize>,
+    ) {
+        egress.clear();
+        ingress.clear();
+        if src == dst {
+            return;
+        }
+        match *self {
+            Topology::Crossbar { procs } => {
+                egress.push(src);
+                egress.push(2 * procs + src);
+                ingress.push(2 * procs + dst);
+                ingress.push(procs + dst);
+            }
+            Topology::Ring { .. } | Topology::Torus2D { .. } | Topology::Torus3D { .. } => {
+                // reuse the full route and split off the fixed-size tail
+                self.route_into(src, dst, egress);
+                let tail = egress.split_off(egress.len() - 2);
+                ingress.extend_from_slice(&tail);
+            }
+            Topology::SmpCluster { nodes, ppn, .. } => {
+                let p = nodes * ppn;
+                let sn = self.node_of(src);
+                let dn = self.node_of(dst);
+                egress.push(src); // port out
+                egress.push(2 * p + src); // sender memory lane
+                if sn != dn {
+                    egress.push(3 * p + sn); // NIC out
+                    ingress.push(3 * p + nodes + dn); // NIC in
+                }
+                ingress.push(2 * p + dst); // receiver memory lane
+                ingress.push(p + dst); // port in
+            }
+        }
+    }
+
+    /// Convenience allocation form of [`route_into`](Self::route_into).
+    pub fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        let mut p = Vec::new();
+        self.route_into(src, dst, &mut p);
+        p
+    }
+
+    /// Number of network hops (Hop-kind links) between two ranks.
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        self.route(src, dst)
+            .into_iter()
+            .filter(|&l| self.link_kind(l) == LinkKind::Hop)
+            .count()
+    }
+}
+
+/// One dimension-order step from `cur` towards `dst` on a cycle of
+/// length `len`; returns (next coordinate, direction 0=+ / 1=-).
+fn step(cur: usize, dst: usize, len: usize) -> (usize, usize) {
+    let fwd = (dst + len - cur) % len;
+    let bwd = (cur + len - dst) % len;
+    if fwd <= bwd {
+        ((cur + 1) % len, 0)
+    } else {
+        ((cur + len - 1) % len, 1)
+    }
+}
+
+/// Route along a 1-D ring: shortest direction, one link per hop.
+/// Link ids: `plus_base + node` for the +1 direction, `minus_base +
+/// node` for the -1 direction.
+fn route_dim(
+    src: usize,
+    dst: usize,
+    len: usize,
+    plus_base: usize,
+    minus_base: usize,
+    path: &mut Vec<usize>,
+) {
+    let mut cur = src;
+    while cur != dst {
+        let (next, dir) = step(cur, dst, len);
+        path.push(if dir == 0 { plus_base + cur } else { minus_base + cur });
+        cur = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_route_is_ports_and_memories() {
+        let t = Topology::Crossbar { procs: 8 };
+        // port_out(2), mem(2), mem(5), port_in(5)
+        assert_eq!(t.route(2, 5), vec![2, 18, 21, 13]);
+        assert_eq!(t.route(3, 3), Vec::<usize>::new());
+        assert_eq!(t.num_links(), 24);
+        assert_eq!(t.link_kind(0), LinkKind::PortOut);
+        assert_eq!(t.link_kind(8), LinkKind::PortIn);
+        assert_eq!(t.link_kind(16), LinkKind::NodeMem);
+    }
+
+    #[test]
+    fn ring_route_takes_shortest_direction() {
+        let t = Topology::Ring { procs: 8 };
+        // out(0), mem(0), one +dir hop from node 0, mem(1), in(1)
+        assert_eq!(t.route(0, 1), vec![0, 16, 24, 17, 9]);
+        // -dir hop block starts at 4*8 = 32
+        assert_eq!(t.route(0, 7), vec![0, 16, 32, 23, 15]);
+        assert_eq!(t.hops(0, 4), 4);
+        assert_eq!(t.hops(0, 3), 3);
+        assert_eq!(t.hops(0, 5), 3); // wraps backwards
+    }
+
+    #[test]
+    fn ring_path_is_connected() {
+        let t = Topology::Ring { procs: 16 };
+        let p = t.route(14, 3);
+        assert_eq!(p.len(), 4 + 5); // endpoints + 14->15->0->1->2->3
+        assert_eq!(p[0], 14);
+        assert_eq!(*p.last().unwrap(), 16 + 3);
+        for (i, l) in p[2..p.len() - 2].iter().enumerate() {
+            assert_eq!(*l, 48 + (14 + i) % 16); // consecutive +dir hop links
+        }
+    }
+
+    #[test]
+    fn torus2d_dimension_order() {
+        let t = Topology::Torus2D { dims: [4, 4] };
+        assert_eq!(t.procs(), 16);
+        assert_eq!(t.num_links(), 112);
+        // (0,0) -> (2,1): endpoints + two X hops + one Y hop
+        let p = t.route(0, 4 + 2);
+        assert_eq!(p.len(), 7);
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), 16 + 6);
+        // X+ hop links live in block [48,64), Y+ in [80,96)
+        assert!((48..64).contains(&p[2]) && (48..64).contains(&p[3]));
+        assert!((80..96).contains(&p[4]));
+    }
+
+    #[test]
+    fn torus3d_distance_is_manhattan_with_wrap() {
+        let t = Topology::Torus3D { dims: [8, 8, 8] };
+        assert_eq!(t.procs(), 512);
+        assert_eq!(t.hops(0, 7), 1); // x: 0->7 wraps backwards
+        assert_eq!(t.hops(0, 4), 4); // x: halfway, 4 hops
+        let far = 4 + 4 * 8 + 4 * 64; // coords (4,4,4)
+        assert_eq!(t.hops(0, far), 12);
+    }
+
+    #[test]
+    fn torus3d_paths_never_exceed_half_per_dim() {
+        let t = Topology::Torus3D { dims: [4, 4, 4] };
+        for src in 0..64 {
+            for dst in 0..64 {
+                assert!(t.hops(src, dst) <= 6, "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_torus3d_ranks_are_mostly_adjacent() {
+        // Ring pattern on MPI_COMM_WORLD maps well onto a row-major torus:
+        // this is why ring patterns beat random patterns on the T3E.
+        let t = Topology::Torus3D { dims: [8, 8, 8] };
+        let close = (0..511).filter(|&r| t.hops(r, r + 1) == 1).count();
+        assert!(close >= 448, "only {close} adjacent consecutive pairs");
+    }
+
+    #[test]
+    fn smp_placement_round_robin_vs_sequential() {
+        let seq = Topology::SmpCluster { nodes: 4, ppn: 8, placement: Placement::Sequential };
+        let rr = Topology::SmpCluster { nodes: 4, ppn: 8, placement: Placement::RoundRobin };
+        assert_eq!(seq.node_of(0), 0);
+        assert_eq!(seq.node_of(7), 0);
+        assert_eq!(seq.node_of(8), 1);
+        assert_eq!(rr.node_of(0), 0);
+        assert_eq!(rr.node_of(1), 1);
+        assert_eq!(rr.node_of(4), 0);
+        // sequential: ring neighbors mostly share a node:
+        // out(0), lane(0)=64, lane(1)=65, in(1)=33
+        assert_eq!(seq.route(0, 1), vec![0, 64, 65, 33]);
+        // round-robin: ring neighbors always cross the network
+        assert_eq!(rr.route(0, 1), vec![0, 64, 96, 100 + 1, 64 + 1, 33]);
+    }
+
+    #[test]
+    fn smp_link_kinds() {
+        let t = Topology::SmpCluster { nodes: 3, ppn: 2, placement: Placement::Sequential };
+        assert_eq!(t.num_links(), 18 + 6);
+        assert_eq!(t.link_kind(0), LinkKind::PortOut);
+        assert_eq!(t.link_kind(6), LinkKind::PortIn);
+        assert_eq!(t.link_kind(12), LinkKind::NodeMem);
+        assert_eq!(t.link_kind(18), LinkKind::NicOut);
+        assert_eq!(t.link_kind(21), LinkKind::NicIn);
+    }
+
+    #[test]
+    fn route_into_reuses_buffer() {
+        let t = Topology::Ring { procs: 8 };
+        let mut buf = vec![99; 9];
+        t.route_into(0, 1, &mut buf);
+        assert_eq!(buf, vec![0, 16, 24, 17, 9]);
+    }
+
+    #[test]
+    fn all_topologies_route_within_link_space() {
+        let topos = [
+            Topology::Crossbar { procs: 5 },
+            Topology::Ring { procs: 7 },
+            Topology::Torus2D { dims: [3, 5] },
+            Topology::Torus3D { dims: [2, 3, 4] },
+            Topology::SmpCluster { nodes: 3, ppn: 4, placement: Placement::RoundRobin },
+        ];
+        for t in &topos {
+            let n = t.procs();
+            for s in 0..n {
+                for d in 0..n {
+                    for l in t.route(s, d) {
+                        assert!(l < t.num_links(), "{t:?} {s}->{d} link {l}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_split_partitions_resources() {
+        let topos = [
+            Topology::Crossbar { procs: 6 },
+            Topology::Ring { procs: 6 },
+            Topology::Torus2D { dims: [3, 2] },
+            Topology::Torus3D { dims: [2, 2, 2] },
+        ];
+        for t in &topos {
+            let n = t.procs();
+            for s in 0..n {
+                for d in 0..n {
+                    let (mut e, mut i) = (Vec::new(), Vec::new());
+                    t.route_split_into(s, d, &mut e, &mut i);
+                    if s == d {
+                        assert!(e.is_empty() && i.is_empty());
+                        continue;
+                    }
+                    // egress + ingress == full route for non-SMP shapes
+                    let mut full = e.clone();
+                    full.extend_from_slice(&i);
+                    assert_eq!(full, t.route(s, d), "{t:?} {s}->{d}");
+                    assert_eq!(t.link_kind(i[0]), LinkKind::NodeMem);
+                    assert_eq!(t.link_kind(*i.last().unwrap()), LinkKind::PortIn);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smp_split_books_both_memory_lanes() {
+        let t = Topology::SmpCluster { nodes: 2, ppn: 4, placement: Placement::Sequential };
+        let (mut e, mut i) = (Vec::new(), Vec::new());
+        t.route_split_into(0, 1, &mut e, &mut i);
+        // egress: out(0), lane(0)=16; ingress: lane(1)=17, in(1)=9
+        assert_eq!(e, vec![0, 16]);
+        assert_eq!(i, vec![17, 8 + 1]);
+        // inter-node: NICs split across the halves
+        t.route_split_into(0, 4, &mut e, &mut i);
+        assert_eq!(e, vec![0, 16, 24]);
+        assert_eq!(i, vec![26 + 1, 16 + 4, 8 + 4]);
+    }
+
+    #[test]
+    fn every_route_starts_and_ends_at_endpoint_resources() {
+        // Each message must consume capacity at both endpoints: that is
+        // the mechanism behind the ping-pong vs parallel-ring gap.
+        let topos = [
+            Topology::Crossbar { procs: 6 },
+            Topology::Ring { procs: 6 },
+            Topology::Torus2D { dims: [3, 2] },
+            Topology::SmpCluster { nodes: 3, ppn: 2, placement: Placement::Sequential },
+        ];
+        for t in &topos {
+            let n = t.procs();
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let p = t.route(s, d);
+                    let first = t.link_kind(p[0]);
+                    let last = t.link_kind(*p.last().unwrap());
+                    assert_eq!(first, LinkKind::PortOut, "{t:?} {s}->{d} first {first:?}");
+                    assert_eq!(last, LinkKind::PortIn, "{t:?} {s}->{d} last {last:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the network simulator substrate.
+
+use beff_netsim::{
+    Clock, MachineNet, NetParams, Placement, Resource, Rng64, Topology, VClock,
+};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (1usize..32).prop_map(|procs| Topology::Crossbar { procs }),
+        (2usize..32).prop_map(|procs| Topology::Ring { procs }),
+        ((1usize..6), (1usize..6)).prop_map(|(x, y)| Topology::Torus2D { dims: [x, y] }),
+        ((1usize..4), (1usize..4), (1usize..4))
+            .prop_map(|(x, y, z)| Topology::Torus3D { dims: [x, y, z] }),
+        ((1usize..5), (1usize..5), prop_oneof![
+            Just(Placement::Sequential),
+            Just(Placement::RoundRobin)
+        ])
+            .prop_map(|(nodes, ppn, placement)| Topology::SmpCluster { nodes, ppn, placement }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn routes_stay_in_link_space_and_split_consistently(
+        topo in arb_topology(),
+        a in 0usize..1000,
+        b in 0usize..1000,
+    ) {
+        let n = topo.procs();
+        let (src, dst) = (a % n, b % n);
+        for l in topo.route(src, dst) {
+            prop_assert!(l < topo.num_links());
+        }
+        let (mut e, mut i) = (Vec::new(), Vec::new());
+        topo.route_split_into(src, dst, &mut e, &mut i);
+        for l in e.iter().chain(i.iter()) {
+            prop_assert!(*l < topo.num_links());
+        }
+        if src == dst {
+            prop_assert!(e.is_empty() && i.is_empty());
+        } else {
+            prop_assert!(!e.is_empty() && !i.is_empty());
+        }
+    }
+
+    #[test]
+    fn resource_reservations_never_overlap(
+        requests in prop::collection::vec((0.0f64..100.0, 0.001f64..5.0), 1..50)
+    ) {
+        let r = Resource::new();
+        let mut spans: Vec<(f64, f64)> = requests
+            .iter()
+            .map(|&(earliest, dur)| {
+                let s = r.reserve(earliest, dur);
+                (s, s + dur)
+            })
+            .collect();
+        spans.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn vclock_is_monotone(ops in prop::collection::vec((0u8..2, 0.0f64..10.0), 1..100)) {
+        let mut c = VClock::new();
+        let mut last = 0.0;
+        for (kind, v) in ops {
+            if kind == 0 { c.advance(v) } else { c.advance_to(v) }
+            prop_assert!(c.now() >= last);
+            last = c.now();
+        }
+    }
+
+    #[test]
+    fn pricing_is_causally_sane(
+        topo in arb_topology(),
+        bytes in 0u64..10_000_000,
+        inject in 0.0f64..1000.0,
+        a in 0usize..1000,
+        b in 0usize..1000,
+    ) {
+        let n = topo.procs();
+        let net = MachineNet::new(topo, NetParams::default());
+        let tr = net.transfer(a % n, b % n, bytes, inject);
+        prop_assert!(tr.injected >= inject);
+        prop_assert!(tr.arrival >= tr.injected - 1e-12);
+        prop_assert!(tr.arrival.is_finite());
+    }
+
+    #[test]
+    fn rng_permutations_are_valid(n in 1usize..500, seed in 0u64..10_000) {
+        let mut rng = Rng64::new(seed);
+        let p = rng.permutation(n);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,87 @@
+//! Parallel-filesystem model parameters.
+//!
+//! The knobs mirror the paper's §3.2 category 5 ("filesystem
+//! parameters"): number of I/O servers, striping unit, disk block size,
+//! cache size — plus the per-request software overheads that make the
+//! 1 kB-chunk patterns slow on every real system in Fig. 4.
+
+use beff_netsim::Secs;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a simulated parallel filesystem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PfsConfig {
+    /// Number of MPI clients that may issue I/O (per-client links).
+    pub clients: usize,
+    /// Number of I/O servers the file data is striped over.
+    pub servers: usize,
+    /// Striping unit in bytes (round-robin across servers).
+    pub stripe_unit: u64,
+    /// Disk block size: accesses not aligned to this granularity pay a
+    /// read-modify-write penalty (the "non-wellformed" effect).
+    pub disk_block: u64,
+    /// Per-extent server-side overhead (seek + request handling).
+    pub server_request_overhead: Secs,
+    /// Streaming bandwidth of one server's disks, MByte/s.
+    pub server_mbps: f64,
+    /// Per-call client-side software overhead (syscall + middleware).
+    pub client_request_overhead: Secs,
+    /// Per-client injection bandwidth into the I/O subsystem, MByte/s.
+    pub client_mbps: f64,
+    /// Aggregate bandwidth of the I/O channel (GigaRing, GPFS fabric,
+    /// fibre channel): every byte moved between clients and the I/O
+    /// subsystem crosses this shared resource, cache hit or not. This
+    /// is what makes the T3E's I/O a *global* resource in Fig. 3.
+    pub aggregate_mbps: f64,
+    /// Filesystem cache capacity in bytes (0 disables the cache).
+    pub cache_bytes: u64,
+    /// Cache (memory) transfer bandwidth, MByte/s.
+    pub cache_mbps: f64,
+    /// Cost of `open` / `close` per file.
+    pub open_cost: Secs,
+    pub close_cost: Secs,
+    /// Keep file contents so reads return the written bytes
+    /// (integrity tests: on; large benchmark runs: off).
+    pub store_data: bool,
+}
+
+impl PfsConfig {
+    /// Aggregate disk drain bandwidth in bytes/s.
+    pub fn drain_bytes_per_sec(&self) -> f64 {
+        self.servers as f64 * self.server_mbps * (1024.0 * 1024.0)
+    }
+}
+
+impl Default for PfsConfig {
+    /// A modest late-90s parallel filesystem: 4 servers x 30 MB/s,
+    /// 64 kB stripes, 256 MB cache.
+    fn default() -> Self {
+        Self {
+            clients: 16,
+            servers: 4,
+            stripe_unit: 64 * 1024,
+            disk_block: 16 * 1024,
+            server_request_overhead: 400e-6,
+            server_mbps: 30.0,
+            client_request_overhead: 60e-6,
+            client_mbps: 100.0,
+            aggregate_mbps: 400.0,
+            cache_bytes: 256 * 1024 * 1024,
+            cache_mbps: 400.0,
+            open_cost: 2e-3,
+            close_cost: 1e-3,
+            store_data: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_is_servers_times_bandwidth() {
+        let c = PfsConfig { servers: 10, server_mbps: 30.0, ..PfsConfig::default() };
+        assert_eq!(c.drain_bytes_per_sec(), 10.0 * 30.0 * 1048576.0);
+    }
+}

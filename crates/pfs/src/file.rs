@@ -1,0 +1,263 @@
+//! File objects of the simulated filesystem: metadata, optional sparse
+//! content store, and per-block cache residency stamps.
+
+use crate::cache::CACHE_BLOCK;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct Inner {
+    size: u64,
+    /// Sparse content, CACHE_BLOCK-sized blocks (store-data mode only).
+    blocks: HashMap<u64, Box<[u8]>>,
+    /// Cache residency: block index -> LRU stamp.
+    cached: HashMap<u64, u64>,
+}
+
+/// One simulated file.
+#[derive(Debug, Default)]
+pub struct FsFile {
+    pub(crate) name: String,
+    inner: Mutex<Inner>,
+}
+
+impl FsFile {
+    pub fn new(name: String) -> Self {
+        Self { name, inner: Mutex::new(Inner::default()) }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn size(&self) -> u64 {
+        self.inner.lock().size
+    }
+
+    /// Grow the file to at least `end` bytes.
+    pub fn extend_to(&self, end: u64) {
+        let mut g = self.inner.lock();
+        if end > g.size {
+            g.size = end;
+        }
+    }
+
+    /// Truncate to zero and drop content (rewrite-from-scratch tests).
+    pub fn truncate(&self) {
+        let mut g = self.inner.lock();
+        g.size = 0;
+        g.blocks.clear();
+        g.cached.clear();
+    }
+
+    /// Store `data` at `offset` (store-data mode).
+    pub fn store(&self, offset: u64, data: &[u8]) {
+        let mut g = self.inner.lock();
+        let end = offset + data.len() as u64;
+        if end > g.size {
+            g.size = end;
+        }
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos as u64;
+            let block = abs / CACHE_BLOCK;
+            let in_block = (abs % CACHE_BLOCK) as usize;
+            let n = ((CACHE_BLOCK as usize) - in_block).min(data.len() - pos);
+            let buf = g
+                .blocks
+                .entry(block)
+                .or_insert_with(|| vec![0u8; CACHE_BLOCK as usize].into_boxed_slice());
+            buf[in_block..in_block + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+    }
+
+    /// Load stored bytes at `offset` into `out`; unwritten regions read
+    /// as zero.
+    pub fn load(&self, offset: u64, out: &mut [u8]) {
+        let g = self.inner.lock();
+        let mut pos = 0usize;
+        while pos < out.len() {
+            let abs = offset + pos as u64;
+            let block = abs / CACHE_BLOCK;
+            let in_block = (abs % CACHE_BLOCK) as usize;
+            let n = ((CACHE_BLOCK as usize) - in_block).min(out.len() - pos);
+            match g.blocks.get(&block) {
+                Some(buf) => out[pos..pos + n].copy_from_slice(&buf[in_block..in_block + n]),
+                None => out[pos..pos + n].fill(0),
+            }
+            pos += n;
+        }
+    }
+
+    /// Stamp the blocks overlapping `[offset, offset+len)` as cached.
+    pub fn mark_cached(&self, offset: u64, len: u64, stamp: u64) {
+        if len == 0 {
+            return;
+        }
+        let mut g = self.inner.lock();
+        let first = offset / CACHE_BLOCK;
+        let last = (offset + len - 1) / CACHE_BLOCK;
+        for b in first..=last {
+            g.cached.insert(b, stamp);
+        }
+    }
+
+    /// How many bytes of `[offset, offset+len)` are in blocks whose
+    /// stamp satisfies `resident` — plus the count of *new* bytes that
+    /// will have to come from the servers.
+    pub fn cached_split(
+        &self,
+        offset: u64,
+        len: u64,
+        resident: impl Fn(u64) -> bool,
+    ) -> (u64, u64) {
+        if len == 0 {
+            return (0, 0);
+        }
+        let g = self.inner.lock();
+        let first = offset / CACHE_BLOCK;
+        let last = (offset + len - 1) / CACHE_BLOCK;
+        let mut hit = 0u64;
+        for b in first..=last {
+            let bstart = b * CACHE_BLOCK;
+            let bend = bstart + CACHE_BLOCK;
+            let ov = bend.min(offset + len) - bstart.max(offset);
+            if g.cached.get(&b).is_some_and(|&s| resident(s)) {
+                hit += ov;
+            }
+        }
+        (hit, len - hit)
+    }
+
+    /// The maximal contiguous sub-ranges of `[offset, offset+len)` that
+    /// are *not* cache-resident (these must come from the servers).
+    pub fn miss_runs(
+        &self,
+        offset: u64,
+        len: u64,
+        resident: impl Fn(u64) -> bool,
+    ) -> Vec<(u64, u64)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let g = self.inner.lock();
+        let first = offset / CACHE_BLOCK;
+        let last = (offset + len - 1) / CACHE_BLOCK;
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for b in first..=last {
+            if g.cached.get(&b).is_some_and(|&s| resident(s)) {
+                continue;
+            }
+            let bstart = b * CACHE_BLOCK;
+            let bend = bstart + CACHE_BLOCK;
+            let s = bstart.max(offset);
+            let e = bend.min(offset + len);
+            match runs.last_mut() {
+                Some(r) if r.0 + r.1 == s => r.1 += e - s,
+                _ => runs.push((s, e - s)),
+            }
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_roundtrip_across_blocks() {
+        let f = FsFile::new("x".into());
+        let data: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        f.store(CACHE_BLOCK - 100, &data);
+        let mut out = vec![0u8; data.len()];
+        f.load(CACHE_BLOCK - 100, &mut out);
+        assert_eq!(out, data);
+        assert_eq!(f.size(), CACHE_BLOCK - 100 + 200_000);
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let f = FsFile::new("x".into());
+        f.store(0, b"abc");
+        let mut out = [9u8; 6];
+        f.load(1_000_000, &mut out);
+        assert_eq!(out, [0u8; 6]);
+    }
+
+    #[test]
+    fn cached_split_counts_overlap() {
+        let f = FsFile::new("x".into());
+        f.mark_cached(0, CACHE_BLOCK, 5);
+        // second block not cached
+        let (hit, miss) = f.cached_split(CACHE_BLOCK / 2, CACHE_BLOCK, |s| s == 5);
+        assert_eq!(hit, CACHE_BLOCK / 2);
+        assert_eq!(miss, CACHE_BLOCK / 2);
+    }
+
+    #[test]
+    fn eviction_via_resident_predicate() {
+        let f = FsFile::new("x".into());
+        f.mark_cached(0, 10, 1);
+        let (hit, miss) = f.cached_split(0, 10, |_| false);
+        assert_eq!((hit, miss), (0, 10));
+    }
+
+    #[test]
+    fn truncate_clears_everything() {
+        let f = FsFile::new("x".into());
+        f.store(0, b"data");
+        f.mark_cached(0, 4, 1);
+        f.truncate();
+        assert_eq!(f.size(), 0);
+        let (hit, _) = f.cached_split(0, 4, |_| true);
+        assert_eq!(hit, 0);
+    }
+
+    #[test]
+    fn extend_to_grows_monotonically() {
+        let f = FsFile::new("x".into());
+        f.extend_to(100);
+        f.extend_to(50);
+        assert_eq!(f.size(), 100);
+    }
+}
+
+#[cfg(test)]
+mod miss_run_tests {
+    use super::*;
+
+    #[test]
+    fn all_miss_is_one_run() {
+        let f = FsFile::new("x".into());
+        assert_eq!(f.miss_runs(10, 100, |_| true), vec![(10, 100)]);
+    }
+
+    #[test]
+    fn cached_middle_splits_runs() {
+        let f = FsFile::new("x".into());
+        f.mark_cached(CACHE_BLOCK, CACHE_BLOCK, 1); // block 1 cached
+        let runs = f.miss_runs(0, 3 * CACHE_BLOCK, |s| s == 1);
+        assert_eq!(runs, vec![(0, CACHE_BLOCK), (2 * CACHE_BLOCK, CACHE_BLOCK)]);
+    }
+
+    #[test]
+    fn fully_cached_has_no_runs() {
+        let f = FsFile::new("x".into());
+        f.mark_cached(0, 4 * CACHE_BLOCK, 1);
+        assert!(f.miss_runs(100, CACHE_BLOCK, |_| true).is_empty());
+    }
+
+    #[test]
+    fn runs_and_split_agree() {
+        let f = FsFile::new("x".into());
+        f.mark_cached(0, CACHE_BLOCK, 1);
+        f.mark_cached(3 * CACHE_BLOCK, CACHE_BLOCK, 1);
+        let (hit, miss) = f.cached_split(0, 5 * CACHE_BLOCK, |_| true);
+        let runs = f.miss_runs(0, 5 * CACHE_BLOCK, |_| true);
+        let run_total: u64 = runs.iter().map(|r| r.1).sum();
+        assert_eq!(miss, run_total);
+        assert_eq!(hit + miss, 5 * CACHE_BLOCK);
+    }
+}

@@ -1,0 +1,170 @@
+//! Real-filesystem backend for *real mode*: the same MPI-IO layer can
+//! run against actual files on the host disk, with wall-clock timing.
+//! Uses positioned I/O (`pread`/`pwrite`) so concurrent ranks do not
+//! fight over a shared cursor.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One real file, opened read+write.
+#[derive(Debug)]
+pub struct LocalFile {
+    file: File,
+    path: PathBuf,
+}
+
+impl LocalFile {
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.file.write_all_at(data, offset)
+    }
+
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        // read as much as available (short read at EOF is fine)
+        let mut done = 0;
+        while done < buf.len() {
+            match self.file.read_at(&mut buf[done..], offset + done as u64) {
+                Ok(0) => break,
+                Ok(n) => done += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(done)
+    }
+
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    pub fn size(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    pub fn truncate(&self) -> io::Result<()> {
+        self.file.set_len(0)
+    }
+}
+
+/// A directory of real files used as the storage backend.
+#[derive(Debug)]
+pub struct LocalDisk {
+    dir: PathBuf,
+    files: Mutex<HashMap<String, Arc<LocalFile>>>,
+}
+
+impl LocalDisk {
+    /// Create (or reuse) `dir` as the storage root.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir, files: Mutex::new(HashMap::new()) })
+    }
+
+    /// A LocalDisk in a fresh unique subdirectory of the system temp dir.
+    pub fn temp(label: &str) -> io::Result<Self> {
+        let unique = format!(
+            "beff-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        );
+        Self::new(std::env::temp_dir().join(unique))
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Open (creating if needed) a file by logical name.
+    pub fn open(&self, name: &str) -> io::Result<Arc<LocalFile>> {
+        let mut files = self.files.lock();
+        if let Some(f) = files.get(name) {
+            return Ok(Arc::clone(f));
+        }
+        let path = self.dir.join(name);
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        let lf = Arc::new(LocalFile { file, path });
+        files.insert(name.to_string(), Arc::clone(&lf));
+        Ok(lf)
+    }
+
+    /// Delete a file (best effort).
+    pub fn unlink(&self, name: &str) {
+        self.files.lock().remove(name);
+        let _ = std::fs::remove_file(self.dir.join(name));
+    }
+
+    /// Remove the whole storage directory (cleanup).
+    pub fn destroy(self) {
+        let dir = self.dir.clone();
+        drop(self);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let d = LocalDisk::temp("t1").unwrap();
+        let f = d.open("a.dat").unwrap();
+        f.write_at(10, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(f.read_at(10, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        assert_eq!(f.size().unwrap(), 15);
+        d.destroy();
+    }
+
+    #[test]
+    fn short_read_at_eof() {
+        let d = LocalDisk::temp("t2").unwrap();
+        let f = d.open("a.dat").unwrap();
+        f.write_at(0, b"xy").unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 2);
+        d.destroy();
+    }
+
+    #[test]
+    fn open_is_shared_and_unlink_removes() {
+        let d = LocalDisk::temp("t3").unwrap();
+        let a = d.open("a").unwrap();
+        let b = d.open("a").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        d.unlink("a");
+        assert!(!d.dir().join("a").exists());
+        d.destroy();
+    }
+
+    #[test]
+    fn concurrent_positioned_writes_do_not_interleave() {
+        let d = LocalDisk::temp("t4").unwrap();
+        let f = d.open("a").unwrap();
+        std::thread::scope(|s| {
+            for i in 0..4u8 {
+                let f = &f;
+                s.spawn(move || {
+                    f.write_at(i as u64 * 1000, &vec![i + 1; 1000]).unwrap();
+                });
+            }
+        });
+        let mut buf = vec![0u8; 4000];
+        f.read_at(0, &mut buf).unwrap();
+        for i in 0..4 {
+            assert!(buf[i * 1000..(i + 1) * 1000].iter().all(|&b| b == i as u8 + 1));
+        }
+        d.destroy();
+    }
+}

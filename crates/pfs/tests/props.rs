@@ -1,0 +1,92 @@
+//! Property tests for the parallel-filesystem simulator.
+
+use beff_pfs::{DataRef, Pfs, PfsConfig};
+use proptest::prelude::*;
+
+fn store_cfg() -> PfsConfig {
+    PfsConfig { clients: 4, store_data: true, ..PfsConfig::default() }
+}
+
+proptest! {
+    #[test]
+    fn write_read_roundtrip_arbitrary_layout(
+        writes in prop::collection::vec((0u64..500_000, 1usize..20_000, any::<u8>()), 1..12)
+    ) {
+        let pfs = Pfs::new(store_cfg());
+        let (f, mut t) = pfs.open("p", 0.0);
+        // apply writes in order; remember the final byte value per range
+        let mut model = std::collections::BTreeMap::new(); // byte -> value, sparse check points
+        for &(off, len, val) in &writes {
+            let data = vec![val; len];
+            t = pfs.write(0, &f, off, DataRef::Bytes(&data), t);
+            // track first/mid/last byte of each write
+            for p in [off, off + len as u64 / 2, off + len as u64 - 1] {
+                model.insert(p, val);
+            }
+        }
+        // later writes may have overwritten earlier checkpoints; recompute
+        for (&p, v) in model.iter_mut() {
+            for &(off, len, val) in &writes {
+                if p >= off && p < off + len as u64 {
+                    *v = val; // last write in program order wins
+                }
+            }
+        }
+        for (&p, &v) in &model {
+            let mut out = [0u8; 1];
+            let (nread, _) = pfs.read(1, &f, p, 1, Some(&mut out), t);
+            prop_assert_eq!(nread, 1);
+            prop_assert_eq!(out[0], v, "byte at {}", p);
+        }
+    }
+
+    #[test]
+    fn completion_times_are_monotone_in_length(
+        off in 0u64..1_000_000,
+        len in 1u64..1_000_000,
+        extra in 1u64..1_000_000,
+    ) {
+        let a = {
+            let pfs = Pfs::new(PfsConfig::default());
+            let (f, t) = pfs.open("m", 0.0);
+            pfs.write(0, &f, off, DataRef::Len(len), t)
+        };
+        let b = {
+            let pfs = Pfs::new(PfsConfig::default());
+            let (f, t) = pfs.open("m", 0.0);
+            pfs.write(0, &f, off, DataRef::Len(len + extra), t)
+        };
+        prop_assert!(b >= a, "{b} < {a}");
+    }
+
+    #[test]
+    fn reads_never_exceed_file_size(
+        file_len in 0u64..100_000,
+        read_off in 0u64..200_000,
+        read_len in 0u64..200_000,
+    ) {
+        let pfs = Pfs::new(PfsConfig::default());
+        let (f, t) = pfs.open("r", 0.0);
+        let t = pfs.write(0, &f, 0, DataRef::Len(file_len), t);
+        let (n, done) = pfs.read(0, &f, read_off, read_len, None, t);
+        prop_assert!(n <= read_len);
+        prop_assert!(read_off + n <= file_len.max(read_off));
+        prop_assert!(done >= t);
+    }
+
+    #[test]
+    fn sync_is_idempotent_and_monotone(lens in prop::collection::vec(1u64..4_000_000, 1..6)) {
+        let pfs = Pfs::new(PfsConfig::default());
+        let (f, mut t) = pfs.open("s", 0.0);
+        let mut off = 0;
+        for &l in &lens {
+            t = pfs.write(0, &f, off, DataRef::Len(l), t);
+            off += l;
+        }
+        let s1 = pfs.sync(t);
+        let s2 = pfs.sync(s1);
+        prop_assert!(s1 >= t);
+        // second sync with nothing dirty is (nearly) free
+        prop_assert!(s2 - s1 < 1e-9, "second sync cost {}", s2 - s1);
+    }
+}

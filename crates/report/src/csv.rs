@@ -1,0 +1,46 @@
+//! CSV emission for downstream plotting of the regenerated figures.
+
+/// Write a CSV with a header and rows of displayable cells.
+pub fn to_csv<T: std::fmt::Display>(headers: &[&str], rows: &[Vec<T>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for r in rows {
+        let line: Vec<String> = r.iter().map(|c| escape(&c.to_string())).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_csv() {
+        let s = to_csv(&["a", "b"], &[vec![1, 2], vec![3, 4]]);
+        assert_eq!(s, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        let s = to_csv(&["x"], &[vec!["he,llo".to_string()], vec!["say \"hi\"".to_string()]]);
+        assert!(s.contains("\"he,llo\""));
+        assert!(s.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let s = to_csv::<u8>(&["only", "header"], &[]);
+        assert_eq!(s, "only,header\n");
+    }
+}

@@ -1,0 +1,33 @@
+//! # beff-report
+//!
+//! Output formatting for the benchmark harness: monospace tables
+//! ([`Table`]), pseudo-log ASCII charts ([`Chart`], matching the
+//! paper's Fig. 3-5 axes), CSV emission, and JSON dumps of result
+//! structures for EXPERIMENTS.md.
+
+pub mod csv;
+pub mod plot;
+pub mod skampi;
+pub mod table;
+
+pub use csv::to_csv;
+pub use plot::{Chart, Series};
+pub use skampi::{SkampiBlock, SkampiReport};
+pub use table::{Align, Table};
+
+/// Serialize any result structure to pretty JSON (for archiving runs).
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("result types serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_roundtrip() {
+        #[derive(serde::Serialize)]
+        struct S {
+            a: u32,
+        }
+        assert!(super::to_json(&S { a: 7 }).contains("\"a\": 7"));
+    }
+}

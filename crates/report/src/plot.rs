@@ -1,0 +1,143 @@
+//! ASCII series plots with the paper's *pseudo-logarithmic* axes:
+//! Fig. 4 plots bandwidth (log scale) over chunk size (pseudo-log:
+//! equidistant ticks at 1 kB, 32 kB, 1 MB, M_PART and their "+8"
+//! neighbors), Fig. 3/5 plot b_eff_io over partition size.
+
+/// One named series of (x-label, value) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub values: Vec<f64>,
+}
+
+/// A pseudo-log multi-series chart: x positions are equidistant with
+/// arbitrary labels, y is logarithmic.
+#[derive(Debug)]
+pub struct Chart {
+    pub title: String,
+    pub x_labels: Vec<String>,
+    pub series: Vec<Series>,
+    pub height: usize,
+}
+
+impl Chart {
+    pub fn new(title: &str, x_labels: &[String]) -> Self {
+        Self {
+            title: title.to_string(),
+            x_labels: x_labels.to_vec(),
+            series: Vec::new(),
+            height: 12,
+        }
+    }
+
+    pub fn series(&mut self, name: &str, values: &[f64]) -> &mut Self {
+        assert_eq!(values.len(), self.x_labels.len(), "series arity mismatch");
+        self.series.push(Series { name: name.to_string(), values: values.to_vec() });
+        self
+    }
+
+    /// Render as ASCII: log-y grid, one marker character per series.
+    pub fn render(&self) -> String {
+        const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        let mut out = format!("{}\n", self.title);
+        let positive: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter().copied())
+            .filter(|v| *v > 0.0)
+            .collect();
+        if positive.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let lo = positive.iter().cloned().fold(f64::INFINITY, f64::min).ln();
+        let hi = positive.iter().cloned().fold(0.0f64, f64::max).ln();
+        let span = (hi - lo).max(1e-9);
+        let h = self.height;
+        let w = self.x_labels.len();
+        let col_w = 6usize;
+        let mut grid = vec![vec![' '; w * col_w]; h];
+        for (si, s) in self.series.iter().enumerate() {
+            let mark = MARKS[si % MARKS.len()];
+            for (xi, &v) in s.values.iter().enumerate() {
+                if v <= 0.0 {
+                    continue;
+                }
+                let frac = (v.ln() - lo) / span;
+                let row = h - 1 - ((frac * (h - 1) as f64).round() as usize).min(h - 1);
+                grid[row][xi * col_w + col_w / 2] = mark;
+            }
+        }
+        for (i, line) in grid.iter().enumerate() {
+            let frac = (h - 1 - i) as f64 / (h - 1) as f64;
+            let yval = (lo + frac * span).exp();
+            out.push_str(&format!("{yval:>9.1} |"));
+            out.push_str(&line.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(w * col_w)));
+        out.push_str(&format!("{:>10} ", ""));
+        for l in &self.x_labels {
+            out.push_str(&format!("{:^col_w$}", truncate(l, col_w)));
+        }
+        out.push('\n');
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("   {} {}\n", MARKS[si % MARKS.len()], s.name));
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, w: usize) -> String {
+    if s.chars().count() <= w {
+        s.to_string()
+    } else {
+        s.chars().take(w).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let labels: Vec<String> = ["1k", "32k", "1M"].iter().map(|s| s.to_string()).collect();
+        let mut c = Chart::new("write", &labels);
+        c.series("type 0", &[5.0, 50.0, 200.0]);
+        c.series("type 2", &[0.5, 10.0, 150.0]);
+        let s = c.render();
+        assert!(s.contains("write"));
+        assert!(s.contains("type 0"));
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn zero_values_are_skipped() {
+        let labels: Vec<String> = vec!["a".into()];
+        let mut c = Chart::new("t", &labels);
+        c.series("s", &[0.0]);
+        assert!(c.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn log_scale_orders_rows() {
+        let labels: Vec<String> = vec!["x".into(), "y".into()];
+        let mut c = Chart::new("t", &labels);
+        c.series("s", &[1.0, 1000.0]);
+        let s = c.render();
+        // the big value must appear on an earlier (higher) line
+        let lines: Vec<&str> = s.lines().collect();
+        let hi_row = lines.iter().position(|l| l.contains('*')).unwrap();
+        let lo_row = lines.iter().rposition(|l| l.contains('*')).unwrap();
+        assert!(hi_row < lo_row);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let labels: Vec<String> = vec!["a".into(), "b".into()];
+        Chart::new("t", &labels).series("s", &[1.0]);
+    }
+}

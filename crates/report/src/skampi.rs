@@ -1,0 +1,117 @@
+//! SKaMPI-style output (paper §6: "Both benchmarks will also be
+//! enhanced to write an additional output that can be used in the
+//! SKaMPI comparison page").
+//!
+//! SKaMPI report files are line-oriented: a header block of
+//! `key=value` metadata, then one measurement block per pattern with
+//! `x value` rows. This module emits that shape from generic series so
+//! the b_eff / b_eff_io results can be dropped onto a comparison page.
+
+use std::fmt::Write;
+
+/// One measurement block: a named curve of (x, value) points.
+#[derive(Debug, Clone)]
+pub struct SkampiBlock {
+    pub name: String,
+    /// Unit of the x axis (e.g. "bytes").
+    pub x_unit: String,
+    /// Unit of the measured value (e.g. "MB/s").
+    pub value_unit: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A full report: metadata + blocks.
+#[derive(Debug, Clone, Default)]
+pub struct SkampiReport {
+    pub metadata: Vec<(String, String)>,
+    pub blocks: Vec<SkampiBlock>,
+}
+
+impl SkampiReport {
+    pub fn new(machine: &str, benchmark: &str) -> Self {
+        Self {
+            metadata: vec![
+                ("benchmark".into(), benchmark.into()),
+                ("machine".into(), machine.into()),
+                ("format".into(), "skampi-compatible-1".into()),
+            ],
+            blocks: Vec::new(),
+        }
+    }
+
+    pub fn meta(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.metadata.push((key.into(), value.to_string()));
+        self
+    }
+
+    pub fn block(
+        &mut self,
+        name: &str,
+        x_unit: &str,
+        value_unit: &str,
+        points: &[(f64, f64)],
+    ) -> &mut Self {
+        self.blocks.push(SkampiBlock {
+            name: name.into(),
+            x_unit: x_unit.into(),
+            value_unit: value_unit.into(),
+            points: points.to_vec(),
+        });
+        self
+    }
+
+    /// Render the report text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# SKaMPI-compatible output");
+        for (k, v) in &self.metadata {
+            let _ = writeln!(s, "{k}={v}");
+        }
+        for b in &self.blocks {
+            let _ = writeln!(s);
+            let _ = writeln!(s, "begin result \"{}\"", b.name);
+            let _ = writeln!(s, "# x[{}] value[{}]", b.x_unit, b.value_unit);
+            for (x, v) in &b.points {
+                let _ = writeln!(s, "{x:>14.1} {v:>14.4}");
+            }
+            let _ = writeln!(s, "end result");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_blocks() {
+        let mut r = SkampiReport::new("Cray T3E", "b_eff");
+        r.meta("processes", 64);
+        r.block("ring-1", "bytes", "MB/s", &[(1.0, 0.5), (1024.0, 120.0)]);
+        let text = r.render();
+        assert!(text.contains("machine=Cray T3E"));
+        assert!(text.contains("processes=64"));
+        assert!(text.contains("begin result \"ring-1\""));
+        assert!(text.contains("end result"));
+        assert!(text.contains("120.0000"));
+    }
+
+    #[test]
+    fn empty_report_is_just_metadata() {
+        let r = SkampiReport::new("m", "b");
+        let text = r.render();
+        assert!(text.contains("benchmark=b"));
+        assert!(!text.contains("begin result"));
+    }
+
+    #[test]
+    fn block_points_preserved_in_order() {
+        let mut r = SkampiReport::new("m", "b");
+        r.block("p", "bytes", "MB/s", &[(2.0, 1.0), (1.0, 2.0)]);
+        let text = r.render();
+        let i2 = text.find("2.0000").unwrap();
+        let i1 = text.find("1.0000").unwrap();
+        assert!(i1 < i2);
+    }
+}

@@ -1,0 +1,74 @@
+//! The coffee-cup rule (paper §2.2): "On well-balanced systems we
+//! expect an I/O bandwidth which allows for writing or reading the
+//! total memory in approximately 10 minutes" — because a developer
+//! wants to checkpoint half the memory in the five minutes a coffee
+//! takes.
+//!
+//! This example computes, for each modeled machine with an I/O
+//! subsystem: the total-memory-to-disk time implied by b_eff_io, the
+//! total-memory-over-network time implied by b_eff, and their ratio
+//! (the paper quotes ~two orders of magnitude).
+//!
+//!     cargo run --release --example coffee_cup
+
+use beff::core::beff::{run_beff, BeffConfig};
+use beff::core::beffio::{run_beff_io, BeffIoConfig};
+use beff::machines::catalog;
+use beff::mpi::World;
+use beff::mpiio::IoWorld;
+use beff::netsim::MB;
+use beff::report::{Align, Table};
+
+fn main() {
+    let mut table = Table::new(&[
+        "machine",
+        "procs",
+        "total mem",
+        "comm time",
+        "I/O time",
+        "I/O : comm",
+        "coffee-cup verdict",
+    ])
+    .align(0, Align::Left)
+    .align(6, Align::Left);
+
+    for machine in catalog() {
+        let Some(_) = machine.io else { continue };
+        if machine.key == "sr8000-seq" {
+            continue;
+        }
+        let n = machine.procs.min(16);
+        let m = machine.sized_for(if machine.key.starts_with("sr8000") { 16 } else { n });
+        let n = m.procs.min(16);
+
+        let cfg = BeffConfig::quick(m.mem_per_proc).without_extras();
+        let beff =
+            World::sim_partition(m.network(), n).run(|c| run_beff(c, &cfg))[0].beff;
+
+        let iocfg = BeffIoConfig::quick(m.mem_per_node).with_t(10.0);
+        let pfs = m.filesystem().expect("io model");
+        let io = IoWorld::sim(pfs);
+        let beff_io =
+            World::sim_partition(m.network(), n).run(|c| run_beff_io(c, &io, &iocfg))[0].beff_io;
+        eprintln!("done: {}", m.key);
+
+        let total_mem_mb = (n as u64 * m.mem_per_proc / MB) as f64;
+        let comm_time = total_mem_mb / beff;
+        let io_time = total_mem_mb / beff_io;
+        let verdict = if io_time <= 600.0 { "balanced (≤10 min)" } else { "I/O-starved" };
+        table.row(&[
+            m.name.to_string(),
+            n.to_string(),
+            format!("{:.1} GB", total_mem_mb / 1024.0),
+            format!("{comm_time:.1} s"),
+            format!("{io_time:.0} s"),
+            format!("{:.0}x", io_time / comm_time),
+            verdict.to_string(),
+        ]);
+    }
+
+    println!("\nThe coffee-cup rule (paper §2.2)\n");
+    println!("{}", table.render());
+    println!("paper: \"the I/O bandwidth is about two orders of magnitude slower");
+    println!("than the communication bandwidth\" — check the I/O : comm column.");
+}

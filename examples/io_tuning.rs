@@ -1,0 +1,56 @@
+//! I/O pattern tuning: what b_eff_io's pattern types reveal about an
+//! MPI-IO stack. Runs the benchmark twice on the T3E model — with and
+//! without two-phase collective buffering — and shows how the
+//! scatter/collective pattern type collapses without it. This is the
+//! advice the paper gives application developers: at small chunk sizes,
+//! let the collective layer reorganize your accesses.
+//!
+//!     cargo run --release --example io_tuning
+
+use beff::core::beffio::{run_beff_io, AccessMethod, BeffIoConfig, PatternType};
+use beff::machines::by_key;
+use beff::mpi::World;
+use beff::mpiio::{Hints, IoWorld};
+use beff::report::{Align, Table};
+
+fn main() {
+    let machine = by_key("t3e").expect("machine");
+    let procs = 8;
+
+    let mut table = Table::new(&[
+        "configuration",
+        "type 0 scatter MB/s",
+        "type 2 separate MB/s",
+        "b_eff_io MB/s",
+    ])
+    .align(0, Align::Left);
+
+    for (name, hints) in [
+        ("two-phase collective buffering", Hints::default()),
+        ("collective buffering disabled", Hints::no_collective_buffering()),
+    ] {
+        let mut cfg = BeffIoConfig::quick(machine.mem_per_node).with_t(8.0);
+        cfg.hints = hints;
+        let pfs = machine.filesystem().expect("T3E has an I/O model");
+        let io = IoWorld::sim(pfs);
+        let results = World::sim_partition(machine.network(), procs)
+            .run(|comm| run_beff_io(comm, &io, &cfg));
+        let r = &results[0];
+        let writes =
+            &r.methods.iter().find(|m| m.method == AccessMethod::InitialWrite).unwrap().types;
+        let t0 = writes.iter().find(|t| t.ptype == PatternType::Scatter).unwrap().mbps();
+        let t2 = writes.iter().find(|t| t.ptype == PatternType::Separate).unwrap().mbps();
+        table.row(&[
+            name.to_string(),
+            format!("{t0:.1}"),
+            format!("{t2:.1}"),
+            format!("{:.1}", r.beff_io),
+        ]);
+        eprintln!("done: {name}");
+    }
+
+    println!("\nMPI-IO tuning on the T3E model ({procs} procs)\n");
+    println!("{}", table.render());
+    println!("Two-phase I/O turns many small strided writes into few large");
+    println!("contiguous ones — the separate-files type is unaffected.");
+}

@@ -1,0 +1,55 @@
+//! Compare communication balance across machine models: run b_eff on
+//! several systems and print bandwidths and balance factors — a small
+//! version of the paper's Table 1 + Figure 1 workflow.
+//!
+//!     cargo run --release --example machine_compare
+
+use beff::core::beff::{run_beff, BeffConfig};
+use beff::core::Balance;
+use beff::machines::{by_key, Machine};
+use beff::mpi::World;
+use beff::report::{Align, Table};
+
+fn run_one(machine: &Machine, procs: usize) -> (f64, f64, f64) {
+    let cfg = BeffConfig::quick(machine.mem_per_proc).without_extras();
+    let results =
+        World::sim_partition(machine.network(), procs).run(|comm| run_beff(comm, &cfg));
+    let r = &results[0];
+    (r.beff, r.beff_per_proc, r.pingpong_mbps)
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "machine",
+        "procs",
+        "b_eff MB/s",
+        "per proc",
+        "ping-pong",
+        "balance B/flop",
+    ])
+    .align(0, Align::Left);
+
+    for (key, procs) in [("t3e", 16), ("sr8000-seq", 16), ("sx5", 4), ("sv1", 15)] {
+        let machine = by_key(key).expect("known machine").sized_for(match key {
+            "sr8000-seq" => 16,
+            _ => procs.max(1),
+        });
+        let n = procs.min(machine.procs);
+        let (beff, per_proc, pp) = run_one(&machine, n);
+        let balance = Balance::new(beff, machine.rmax_for(n));
+        table.row(&[
+            machine.name.to_string(),
+            n.to_string(),
+            format!("{beff:.0}"),
+            format!("{per_proc:.1}"),
+            format!("{pp:.0}"),
+            format!("{:.4}", balance.factor()),
+        ]);
+        eprintln!("done: {key}");
+    }
+
+    println!("\nCommunication balance across machine models\n");
+    println!("{}", table.render());
+    println!("A higher balance factor means more communication per flop —");
+    println!("the paper's point: Tflops alone do not characterize a machine.");
+}

@@ -1,0 +1,27 @@
+//! Quickstart: run b_eff on a small simulated machine and print the
+//! measurement protocol.
+//!
+//!     cargo run --release --example quickstart
+
+use beff::core::beff::{run_beff, BeffConfig};
+use beff::machines;
+use beff::mpi::World;
+
+fn main() {
+    // A 24-processor partition of the Cray T3E model — the same row
+    // the paper's Table 1 reports at b_eff = 1522 MB/s.
+    let machine = machines::t3e();
+    let procs = 24;
+    let cfg = BeffConfig::quick(machine.mem_per_proc);
+
+    println!("running b_eff on {} ({procs} procs, scaled-down schedule)…", machine.name);
+    let results =
+        World::sim_partition(machine.network(), procs).run(|comm| run_beff(comm, &cfg));
+    let r = &results[0];
+
+    println!("{}", r.protocol());
+    println!(
+        "paper Table 1 row: b_eff = 1522 MB/s, 63 MB/s per process — measured {:.0} / {:.1}",
+        r.beff, r.beff_per_proc
+    );
+}

@@ -1,0 +1,55 @@
+//! Real mode: the same benchmark code measuring the *host* machine —
+//! ranks are OS threads, time is the wall clock, and b_eff_io runs
+//! against real files in a temp directory. This is what the paper's
+//! benchmarks do on actual hardware; your machine is a small SMP.
+//!
+//!     cargo run --release --example real_mode
+
+use beff::core::beff::{run_beff, BeffConfig, MeasureSchedule};
+use beff::core::beffio::{run_beff_io, BeffIoConfig};
+use beff::mpi::World;
+use beff::mpiio::IoWorld;
+use beff::netsim::{GB, MB};
+use beff::pfs::LocalDisk;
+use std::sync::Arc;
+
+fn main() {
+    let procs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(2, 8);
+
+    // ---- b_eff on host threads (mailbox transport ≈ shared memory) ----
+    let cfg = BeffConfig {
+        mem_per_proc: GB, // pretend 1 GB/proc: L_max = 8 MB
+        schedule: MeasureSchedule { loop_start: 20, reps: 2, ..MeasureSchedule::quick() },
+        seed: 0xB0EF,
+        extras: false,
+        extra_iters: 4,
+    };
+    println!("b_eff on this host, {procs} threads…");
+    let results = World::real(procs).run(|comm| run_beff(comm, &cfg));
+    let r = &results[0];
+    println!(
+        "host b_eff = {:.0} MB/s ({:.0} per thread), ping-pong {:.0} MB/s",
+        r.beff, r.beff_per_proc, r.pingpong_mbps
+    );
+
+    // ---- b_eff_io against real temp files ----
+    let disk = Arc::new(LocalDisk::temp("real-mode-example").expect("temp dir"));
+    println!("\nb_eff_io against {} …", disk.dir().display());
+    let io = IoWorld::local(Arc::clone(&disk));
+    let io_cfg = BeffIoConfig {
+        t_sched: 6.0, // seconds — a smoke test, not a certified run
+        mem_per_node: 256 * MB,
+        ..BeffIoConfig::quick(256 * MB)
+    };
+    let results = World::real(procs.min(4)).run(|comm| run_beff_io(comm, &io, &io_cfg));
+    let r = &results[0];
+    println!("host b_eff_io = {:.1} MB/s", r.beff_io);
+    for m in &r.methods {
+        println!("  {:>13}: {:.1} MB/s", m.method.name(), m.value());
+    }
+
+    drop(io);
+    if let Ok(d) = Arc::try_unwrap(disk) {
+        d.destroy();
+    }
+}

@@ -1,0 +1,45 @@
+//! # beff
+//!
+//! A from-scratch Rust reproduction of
+//! *Benchmark Design for Characterization of Balanced High-Performance
+//! Architectures* (Koniges, Rabenseifner, Solchenbach — IPPS 2001): the
+//! **effective bandwidth benchmark b_eff** and the **effective I/O
+//! bandwidth benchmark b_eff_io**, together with every substrate they
+//! need — an MPI-like message-passing runtime, a virtual-time network
+//! simulator with calibrated machine models of the paper's evaluation
+//! systems, a parallel-filesystem simulator, and an MPI-IO layer with
+//! two-phase collective I/O.
+//!
+//! This facade re-exports the whole stack. Quick start:
+//!
+//! ```
+//! use beff::machines;
+//! use beff::mpi::World;
+//! use beff::core::beff::{run_beff, BeffConfig};
+//!
+//! // b_eff on a simulated 24-processor partition of a Cray T3E
+//! let machine = machines::t3e();
+//! let cfg = BeffConfig::quick(machine.mem_per_proc).without_extras();
+//! let results = World::sim_partition(machine.network(), 4)
+//!     .run(|comm| run_beff(comm, &cfg));
+//! assert!(results[0].beff > 0.0);
+//! ```
+//!
+//! Crate map (see DESIGN.md for the experiment index):
+//!
+//! * [`netsim`] — virtual clocks, topologies, link contention, machine
+//!   cost models,
+//! * [`mpi`] — thread-per-rank communicator: p2p, collectives, split,
+//! * [`pfs`] — striped I/O servers, write-back cache, local-disk twin,
+//! * [`mpiio`] — file views, shared pointers, collective buffering,
+//! * [`core`] — the two benchmarks themselves,
+//! * [`machines`] — calibrated models (T3E, SP, SR 8000, SX-5, …),
+//! * [`report`] — tables / pseudo-log charts / CSV.
+
+pub use beff_core as core;
+pub use beff_machines as machines;
+pub use beff_mpi as mpi;
+pub use beff_mpiio as mpiio;
+pub use beff_netsim as netsim;
+pub use beff_pfs as pfs;
+pub use beff_report as report;
