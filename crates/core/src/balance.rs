@@ -3,15 +3,24 @@
 //! how many bytes per second a machine can move per flop it can
 //! compute.
 
-use serde::Serialize;
+use beff_json::{Json, ToJson};
 
 /// Balance factor of a system.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Balance {
     /// b_eff in MByte/s.
     pub beff_mbps: f64,
     /// R_max (Linpack) in MFlop/s.
     pub rmax_mflops: f64,
+}
+
+impl ToJson for Balance {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("beff_mbps", &self.beff_mbps)
+            .field("rmax_mflops", &self.rmax_mflops)
+            .build()
+    }
 }
 
 impl Balance {

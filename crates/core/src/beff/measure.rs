@@ -5,12 +5,12 @@
 //! `b = L · messages · looplength / max-time-over-ranks`.
 
 use super::methods::{Method, Transfers};
+use beff_json::{Json, ToJson};
 use beff_mpi::{Comm, ReduceOp};
 use beff_netsim::{Secs, MB};
-use serde::Serialize;
 
 /// Loop/repetition schedule.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MeasureSchedule {
     /// Starting looplength for the shortest message (paper: 300).
     pub loop_start: u32,
@@ -20,6 +20,17 @@ pub struct MeasureSchedule {
     pub loop_max_time: Secs,
     /// Repetitions per measurement, best taken (paper: 3).
     pub reps: u32,
+}
+
+impl ToJson for MeasureSchedule {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("loop_start", &self.loop_start)
+            .field("loop_min_time", &self.loop_min_time)
+            .field("loop_max_time", &self.loop_max_time)
+            .field("reps", &self.reps)
+            .build()
+    }
 }
 
 impl MeasureSchedule {
@@ -47,7 +58,7 @@ impl MeasureSchedule {
 }
 
 /// One measured point.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Measurement {
     /// Bandwidth in MByte/s (aggregate over all ranks).
     pub mbps: f64,
@@ -55,6 +66,16 @@ pub struct Measurement {
     pub dt: Secs,
     /// Looplength used.
     pub looplength: u32,
+}
+
+impl ToJson for Measurement {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("mbps", &self.mbps)
+            .field("dt", &self.dt)
+            .field("looplength", &self.looplength)
+            .build()
+    }
 }
 
 /// Measure one (pattern, size, method) point: synchronize, run the

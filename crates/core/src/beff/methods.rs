@@ -4,8 +4,8 @@
 //! bandwidth over the three, so a system is measured by whichever MPI
 //! path its vendor optimized.
 
+use beff_json::{Json, ToJson};
 use beff_mpi::{Comm, Tag};
-use serde::Serialize;
 
 /// Tag used by all benchmark payload traffic.
 pub const BENCH_TAG: Tag = 0x0BEF;
@@ -15,11 +15,24 @@ pub const BENCH_TAG: Tag = 0x0BEF;
 const ALLTOALLV_SCAN_PER_RANK: f64 = 5e-9;
 
 /// The communication method.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
     Sendrecv,
     Alltoallv,
     NonBlocking,
+}
+
+impl ToJson for Method {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Method::Sendrecv => "Sendrecv",
+                Method::Alltoallv => "Alltoallv",
+                Method::NonBlocking => "NonBlocking",
+            }
+            .to_owned(),
+        )
+    }
 }
 
 pub const METHODS: [Method; 3] = [Method::Sendrecv, Method::Alltoallv, Method::NonBlocking];

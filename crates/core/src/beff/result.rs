@@ -2,10 +2,10 @@
 //! protocol report.
 
 use crate::logavg::{logavg, logavg2, mean};
-use serde::Serialize;
+use beff_json::{Json, ToJson};
 
 /// Results of one communication pattern.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PatternResult {
     pub name: String,
     pub random: bool,
@@ -27,16 +27,33 @@ impl PatternResult {
     }
 }
 
+impl ToJson for PatternResult {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("name", &self.name)
+            .field("random", &self.random)
+            .field("ring_sizes", &self.ring_sizes)
+            .field("curve", &self.curve)
+            .build()
+    }
+}
+
 /// An additional (non-averaged) diagnostic pattern.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExtraResult {
     pub name: String,
     /// Aggregate bandwidth at L_max, MByte/s.
     pub mbps: f64,
 }
 
+impl ToJson for ExtraResult {
+    fn to_json(&self) -> Json {
+        Json::object().field("name", &self.name).field("mbps", &self.mbps).build()
+    }
+}
+
 /// The complete b_eff result for one machine/partition.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BeffResult {
     pub nprocs: usize,
     pub mem_per_proc: u64,
@@ -54,6 +71,25 @@ pub struct BeffResult {
     /// One-way ping-pong bandwidth at L_max (rank 0 ↔ 1).
     pub pingpong_mbps: f64,
     pub extras: Vec<ExtraResult>,
+}
+
+impl ToJson for BeffResult {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("nprocs", &self.nprocs)
+            .field("mem_per_proc", &self.mem_per_proc)
+            .field("lmax", &self.lmax)
+            .field("sizes", &self.sizes)
+            .field("patterns", &self.patterns)
+            .field("beff", &self.beff)
+            .field("beff_per_proc", &self.beff_per_proc)
+            .field("beff_at_lmax", &self.beff_at_lmax)
+            .field("beff_per_proc_at_lmax", &self.beff_per_proc_at_lmax)
+            .field("ring_per_proc_at_lmax", &self.ring_per_proc_at_lmax)
+            .field("pingpong_mbps", &self.pingpong_mbps)
+            .field("extras", &self.extras)
+            .build()
+    }
 }
 
 impl BeffResult {

@@ -6,12 +6,12 @@
 //! its ring. Rings of size 2 have `left == right` (the two messages of
 //! an iteration go to the same peer).
 
+use beff_json::{Json, ToJson};
 use beff_netsim::Rng64;
-use serde::Serialize;
 
 /// A communication pattern: per-rank (left, right) neighbors, plus a
 /// descriptive name and whether it belongs to the random family.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Pattern {
     pub name: String,
     pub random: bool,
@@ -19,6 +19,17 @@ pub struct Pattern {
     pub neighbors: Vec<(usize, usize)>,
     /// ring sizes, for the protocol report
     pub ring_sizes: Vec<usize>,
+}
+
+impl ToJson for Pattern {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("name", &self.name)
+            .field("random", &self.random)
+            .field("neighbors", &self.neighbors)
+            .field("ring_sizes", &self.ring_sizes)
+            .build()
+    }
 }
 
 /// Partition `n` ranks into rings of target size `s` following the

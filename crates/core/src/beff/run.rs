@@ -7,11 +7,11 @@ use super::methods::{Transfers, METHODS};
 use super::result::{BeffResult, PatternResult};
 use super::rings::{messages_per_iteration, random_patterns, ring_patterns};
 use super::sizes::{lmax, message_sizes};
+use beff_json::{Json, ToJson};
 use beff_mpi::Comm;
-use serde::Serialize;
 
 /// Configuration of a b_eff run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BeffConfig {
     /// Memory per processor (determines L_max = min(128 MB, mem/128)).
     pub mem_per_proc: u64,
@@ -22,6 +22,18 @@ pub struct BeffConfig {
     pub extras: bool,
     /// Iterations for extras and ping-pong.
     pub extra_iters: u32,
+}
+
+impl ToJson for BeffConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("mem_per_proc", &self.mem_per_proc)
+            .field("schedule", &self.schedule)
+            .field("seed", &self.seed)
+            .field("extras", &self.extras)
+            .field("extra_iters", &self.extra_iters)
+            .build()
+    }
 }
 
 impl BeffConfig {

@@ -93,29 +93,33 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use beff_check::{check, ensure, ensure_eq};
 
-    proptest! {
-        #[test]
-        fn ladder_is_strictly_increasing_and_ends_at_lmax(mem in (1u64 << 20)..(1u64 << 44)) {
+    #[test]
+    fn ladder_is_strictly_increasing_and_ends_at_lmax() {
+        check("ladder is strictly increasing and ends at lmax", |g| {
+            let mem = g.u64(1 << 20..=(1 << 44) - 1);
             let lm = lmax(mem);
             let s = message_sizes(lm);
-            prop_assert_eq!(s.len(), NUM_SIZES);
+            ensure_eq!(s.len(), NUM_SIZES);
             for w in s.windows(2) {
-                prop_assert!(w[0] < w[1], "{:?}", s);
+                ensure!(w[0] < w[1], "{:?}", s);
             }
-            prop_assert_eq!(s[0], 1);
-            prop_assert_eq!(*s.last().unwrap(), lm);
-        }
+            ensure_eq!(s[0], 1);
+            ensure_eq!(*s.last().unwrap(), lm);
+        });
+    }
 
-        #[test]
-        fn lmax_never_exceeds_cap_or_mem(mem in 0u64..(1u64 << 50)) {
+    #[test]
+    fn lmax_never_exceeds_cap_or_mem() {
+        check("lmax never exceeds cap or mem", |g| {
+            let mem = g.u64(0..=(1 << 50) - 1);
             let lm = lmax(mem);
-            prop_assert!(lm <= 128 * MB);
-            prop_assert!(lm >= 4 * KB);
+            ensure!(lm <= 128 * MB);
+            ensure!(lm >= 4 * KB);
             if mem >= 512 * KB && mem <= 128 * MB * 128 {
-                prop_assert_eq!(lm, mem / 128);
+                ensure_eq!(lm, mem / 128);
             }
-        }
+        });
     }
 }

@@ -11,14 +11,14 @@
 use super::patterns::{all_patterns, IoPattern, PatternType};
 use super::result::{AccessMethod, PatternDetail, TypeRun};
 use super::schedule::{pattern_time, Termination, TimeLoop};
+use beff_json::{Json, ToJson};
 use beff_mpi::{Comm, ReduceOp};
 use beff_mpiio::{AMode, FileView, Hints, IoWorld, MpiFile};
 use beff_netsim::{Secs, MB};
-use serde::Serialize;
 use std::sync::Arc;
 
 /// Configuration of a b_eff_io run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BeffIoConfig {
     /// Scheduled time T for the whole partition (paper: ≥ 900 s for
     /// official values; scaled down for CI).
@@ -32,6 +32,19 @@ pub struct BeffIoConfig {
     /// Verify read data against the written fill pattern (requires
     /// copy-data + store-data modes).
     pub verify: bool,
+}
+
+impl ToJson for BeffIoConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("t_sched", &self.t_sched)
+            .field("mem_per_node", &self.mem_per_node)
+            .field("termination", &self.termination)
+            .field("hints", &self.hints)
+            .field("prefix", &self.prefix)
+            .field("verify", &self.verify)
+            .build()
+    }
 }
 
 impl BeffIoConfig {

@@ -3,11 +3,11 @@
 //! chunks, wellformed/non-wellformed variants and time units U
 //! (ΣU = 64).
 
+use beff_json::{Json, ToJson};
 use beff_netsim::{KB, MB};
-use serde::Serialize;
 
 /// The five pattern types of Fig. 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PatternType {
     /// (0) strided collective access, scattering large memory chunks to
     /// small disk chunks in one MPI-IO call.
@@ -31,6 +31,21 @@ pub const PATTERN_TYPES: [PatternType; 5] = [
     PatternType::SegColl,
 ];
 
+impl ToJson for PatternType {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                PatternType::Scatter => "Scatter",
+                PatternType::Shared => "Shared",
+                PatternType::Separate => "Separate",
+                PatternType::Segmented => "Segmented",
+                PatternType::SegColl => "SegColl",
+            }
+            .to_owned(),
+        )
+    }
+}
+
 impl PatternType {
     pub fn name(&self) -> &'static str {
         match self {
@@ -50,15 +65,25 @@ impl PatternType {
 }
 
 /// Base chunk size of a pattern row ("l" column of Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChunkBase {
     Fixed(u64),
     /// M_PART = max(2 MB, memory of one node / 128).
     Mpart,
 }
 
+impl ToJson for ChunkBase {
+    fn to_json(&self) -> Json {
+        // Newtype variant → {"Fixed": n}; unit variant → "Mpart".
+        match self {
+            ChunkBase::Fixed(b) => Json::variant("Fixed", b.to_json()),
+            ChunkBase::Mpart => Json::Str("Mpart".to_owned()),
+        }
+    }
+}
+
 /// One row of Table 2.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IoPattern {
     /// Pattern number (0..=42, Table 2 "No." column).
     pub id: usize,
@@ -72,6 +97,20 @@ pub struct IoPattern {
     pub u: u32,
     /// "Fill up segment" slot of the segmented types (ids 33 and 42).
     pub fillup: bool,
+}
+
+impl ToJson for IoPattern {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("id", &self.id)
+            .field("ptype", &self.ptype)
+            .field("base", &self.base)
+            .field("plus8", &self.plus8)
+            .field("chunks_per_call", &self.chunks_per_call)
+            .field("u", &self.u)
+            .field("fillup", &self.fillup)
+            .build()
+    }
 }
 
 impl IoPattern {

@@ -11,14 +11,14 @@
 //! consistency-clean); random *reads* roam the whole file.
 
 use super::schedule::TimeLoop;
+use beff_json::{Json, ToJson};
 use beff_mpi::{Comm, ReduceOp};
 use beff_mpiio::{AMode, Hints, IoWorld, MpiFile};
 use beff_netsim::{Rng64, Secs, MB};
-use serde::Serialize;
 use std::sync::Arc;
 
 /// Configuration of the random-access study.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RandomIoConfig {
     /// Bytes of file region per rank.
     pub region_per_rank: u64,
@@ -43,8 +43,20 @@ impl RandomIoConfig {
     }
 }
 
+impl ToJson for RandomIoConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("region_per_rank", &self.region_per_rank)
+            .field("chunks", &self.chunks)
+            .field("time_per_point", &self.time_per_point)
+            .field("seed", &self.seed)
+            .field("prefix", &self.prefix)
+            .build()
+    }
+}
+
 /// One measured point of the study.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RandomIoPoint {
     pub chunk: u64,
     /// Sequential read bandwidth, MB/s aggregate.
@@ -55,11 +67,31 @@ pub struct RandomIoPoint {
     pub rand_write_mbps: f64,
 }
 
+impl ToJson for RandomIoPoint {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("chunk", &self.chunk)
+            .field("seq_read_mbps", &self.seq_read_mbps)
+            .field("rand_read_mbps", &self.rand_read_mbps)
+            .field("rand_write_mbps", &self.rand_write_mbps)
+            .build()
+    }
+}
+
 /// Results over all chunk sizes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RandomIoResult {
     pub nprocs: usize,
     pub points: Vec<RandomIoPoint>,
+}
+
+impl ToJson for RandomIoResult {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("nprocs", &self.nprocs)
+            .field("points", &self.points)
+            .build()
+    }
 }
 
 impl RandomIoResult {

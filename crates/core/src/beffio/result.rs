@@ -5,15 +5,28 @@
 
 use super::patterns::PatternType;
 use crate::logavg::weighted_mean;
+use beff_json::{Json, ToJson};
 use beff_netsim::{Secs, MB};
-use serde::Serialize;
 
 /// The three access methods.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessMethod {
     InitialWrite,
     Rewrite,
     Read,
+}
+
+impl ToJson for AccessMethod {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                AccessMethod::InitialWrite => "InitialWrite",
+                AccessMethod::Rewrite => "Rewrite",
+                AccessMethod::Read => "Read",
+            }
+            .to_owned(),
+        )
+    }
 }
 
 pub const ACCESS_METHODS: [AccessMethod; 3] =
@@ -42,7 +55,7 @@ impl AccessMethod {
 }
 
 /// Measured detail of one pattern (one Fig. 4 data point).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PatternDetail {
     pub id: usize,
     pub chunk_label: String,
@@ -53,6 +66,19 @@ pub struct PatternDetail {
     pub bytes: u64,
     /// Elapsed seconds (max over ranks).
     pub secs: Secs,
+}
+
+impl ToJson for PatternDetail {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("id", &self.id)
+            .field("chunk_label", &self.chunk_label)
+            .field("chunk_bytes", &self.chunk_bytes)
+            .field("reps", &self.reps)
+            .field("bytes", &self.bytes)
+            .field("secs", &self.secs)
+            .build()
+    }
 }
 
 impl PatternDetail {
@@ -66,7 +92,7 @@ impl PatternDetail {
 }
 
 /// Results of one pattern type under one access method.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TypeRun {
     pub ptype: PatternType,
     /// open-to-close wall time (max over ranks).
@@ -74,6 +100,17 @@ pub struct TypeRun {
     /// Total bytes over all ranks and patterns.
     pub bytes: u64,
     pub patterns: Vec<PatternDetail>,
+}
+
+impl ToJson for TypeRun {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("ptype", &self.ptype)
+            .field("open_close_secs", &self.open_close_secs)
+            .field("bytes", &self.bytes)
+            .field("patterns", &self.patterns)
+            .build()
+    }
 }
 
 impl TypeRun {
@@ -89,10 +126,19 @@ impl TypeRun {
 }
 
 /// One access method over all five types.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MethodRun {
     pub method: AccessMethod,
     pub types: Vec<TypeRun>,
+}
+
+impl ToJson for MethodRun {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("method", &self.method)
+            .field("types", &self.types)
+            .build()
+    }
 }
 
 impl MethodRun {
@@ -111,7 +157,7 @@ impl MethodRun {
 }
 
 /// A complete b_eff_io run on one partition.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BeffIoResult {
     pub nprocs: usize,
     /// Scheduled time T in seconds.
@@ -122,6 +168,19 @@ pub struct BeffIoResult {
     pub methods: Vec<MethodRun>,
     /// The partition's b_eff_io value in MByte/s.
     pub beff_io: f64,
+}
+
+impl ToJson for BeffIoResult {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("nprocs", &self.nprocs)
+            .field("t_sched", &self.t_sched)
+            .field("mpart", &self.mpart)
+            .field("segment", &self.segment)
+            .field("methods", &self.methods)
+            .field("beff_io", &self.beff_io)
+            .build()
+    }
 }
 
 impl BeffIoResult {

@@ -12,17 +12,29 @@
 //!
 //! Noncollective patterns check their local clock directly.
 
+use beff_json::{Json, ToJson};
 use beff_mpi::{Comm, ReduceOp};
 use beff_netsim::Secs;
-use serde::Serialize;
 
 /// Collective loop-termination algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Termination {
     /// Barrier + root decision + broadcast after every iteration.
     RootCheck,
     /// Geometric series of repeating factors between global checks.
     Geometric,
+}
+
+impl ToJson for Termination {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Termination::RootCheck => "RootCheck",
+                Termination::Geometric => "Geometric",
+            }
+            .to_owned(),
+        )
+    }
 }
 
 /// Time share of one pattern: `T/3 · U/ΣU`.

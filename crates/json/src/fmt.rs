@@ -1,0 +1,232 @@
+//! Writers that reproduce `serde_json`'s output byte-for-byte:
+//! compact (`to_string`) and 2-space pretty (`to_string_pretty`)
+//! layouts, `\uXXXX` control-character escapes, and ryu-style
+//! shortest-round-trip float formatting.
+
+use crate::value::Json;
+
+pub(crate) fn write_compact(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(n) => out.push_str(&n.to_string()),
+        Json::UInt(n) => out.push_str(&n.to_string()),
+        Json::Float(f) => write_f64(*f, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (name, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(name, out);
+                out.push(':');
+                write_compact(value, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn write_pretty(v: &Json, depth: usize, out: &mut String) {
+    match v {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            newline_indent(depth, out);
+            out.push(']');
+        }
+        Json::Obj(fields) if !fields.is_empty() => {
+            out.push('{');
+            for (i, (name, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(depth + 1, out);
+                write_escaped(name, out);
+                out.push_str(": ");
+                write_pretty(value, depth + 1, out);
+            }
+            newline_indent(depth, out);
+            out.push('}');
+        }
+        // Empty containers and scalars print exactly as in compact mode
+        // ("[]", "{}", numbers, strings).
+        other => write_compact(other, out),
+    }
+}
+
+fn newline_indent(depth: usize, out: &mut String) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{08}' => out.push_str("\\b"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\u{0c}' => out.push_str("\\f"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format an `f64` exactly as `serde_json` (via `ryu`) does.
+///
+/// Rust's `{:e}` formatter already produces the shortest
+/// round-trip digit string, so this only needs ryu's *layout* rules on
+/// top: plain decimal notation while the decimal point lands within
+/// `(-5, 16]` digits of the front (`0.00001` … `1000000000000000.0`),
+/// scientific notation outside that window (`1e-6`, `1e16`), a forced
+/// `.0` on integral values, and `null` for non-finite values.
+fn write_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let sci = format!("{f:e}");
+    let (mantissa, exp) = sci
+        .split_once('e')
+        .expect("{:e} always contains an exponent");
+    let exp: i32 = exp.parse().expect("{:e} exponent is an integer");
+    let (sign, mantissa) = match mantissa.strip_prefix('-') {
+        Some(rest) => ("-", rest),
+        None => ("", mantissa),
+    };
+    // digits = mantissa without the decimal point; value is
+    // 0.digits × 10^kk with kk the decimal-point position.
+    let digits: String = mantissa.chars().filter(|c| *c != '.').collect();
+    let kk = exp + 1;
+
+    out.push_str(sign);
+    if !(-5 < kk && kk <= 16) {
+        // ryu's scientific layout matches `{:e}`: "1e16", "2.5e-7".
+        out.push_str(mantissa);
+        out.push('e');
+        out.push_str(&exp.to_string());
+    } else if kk <= 0 {
+        // 0.0001234
+        out.push_str("0.");
+        for _ in 0..-kk {
+            out.push('0');
+        }
+        out.push_str(&digits);
+    } else if (kk as usize) >= digits.len() {
+        // 1234000.0 — integral, pad zeros and force ".0"
+        out.push_str(&digits);
+        for _ in 0..(kk as usize - digits.len()) {
+            out.push('0');
+        }
+        out.push_str(".0");
+    } else {
+        // 12.34 — decimal point inside the digit string
+        out.push_str(&digits[..kk as usize]);
+        out.push('.');
+        out.push_str(&digits[kk as usize..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Json;
+
+    fn f(x: f64) -> String {
+        let mut s = String::new();
+        write_f64(x, &mut s);
+        s
+    }
+
+    #[test]
+    fn floats_match_ryu_layout() {
+        assert_eq!(f(0.0), "0.0");
+        assert_eq!(f(-0.0), "-0.0");
+        assert_eq!(f(7.0), "7.0");
+        assert_eq!(f(-7.0), "-7.0");
+        assert_eq!(f(1.5), "1.5");
+        assert_eq!(f(12.34), "12.34");
+        assert_eq!(f(0.1), "0.1");
+        assert_eq!(f(0.00001), "0.00001");
+        assert_eq!(f(0.000001), "1e-6");
+        assert_eq!(f(1e15), "1000000000000000.0");
+        assert_eq!(f(1e16), "1e16");
+        assert_eq!(f(-2.5e-7), "-2.5e-7");
+        assert_eq!(f(1234000.0), "1234000.0");
+        assert_eq!(f(f64::NAN), "null");
+        assert_eq!(f(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for &x in &[
+            0.1, 1.0 / 3.0, 2.0_f64.sqrt(), 123.456e12, 5e-324, f64::MAX, 171.0, 0.5,
+        ] {
+            let s = f(x);
+            assert_eq!(s.parse::<f64>().unwrap(), x, "round-trip of {x}");
+        }
+    }
+
+    #[test]
+    fn compact_layout() {
+        let j = Json::object()
+            .raw("a", Json::Arr(vec![Json::Int(1), Json::Null]))
+            .raw("b", Json::Obj(vec![]))
+            .field("c", "x\"y")
+            .build();
+        let mut s = String::new();
+        write_compact(&j, &mut s);
+        assert_eq!(s, r#"{"a":[1,null],"b":{},"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let j = Json::object()
+            .field("name", "t3e")
+            .raw("sizes", Json::Arr(vec![Json::UInt(1), Json::UInt(8)]))
+            .raw("empty", Json::Arr(vec![]))
+            .raw(
+                "nested",
+                Json::object().field("ok", &true).build(),
+            )
+            .build();
+        let mut s = String::new();
+        write_pretty(&j, 0, &mut s);
+        let want = "{\n  \"name\": \"t3e\",\n  \"sizes\": [\n    1,\n    8\n  ],\n  \"empty\": [],\n  \"nested\": {\n    \"ok\": true\n  }\n}";
+        assert_eq!(s, want);
+    }
+
+    #[test]
+    fn control_chars_escape_as_u00xx() {
+        let mut s = String::new();
+        write_escaped("a\u{01}b\nc", &mut s);
+        assert_eq!(s, "\"a\\u0001b\\nc\"");
+    }
+}

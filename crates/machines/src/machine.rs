@@ -1,13 +1,13 @@
 //! The machine-model type: everything needed to instantiate a paper
 //! evaluation system as a simulated network + filesystem.
 
+use beff_json::{Json, ToJson};
 use beff_netsim::{MachineNet, NetParams, Topology};
 use beff_pfs::{Pfs, PfsConfig};
-use serde::Serialize;
 use std::sync::Arc;
 
 /// A calibrated model of one evaluation system.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     /// Short identifier ("t3e", "sr8000-seq", …).
     pub key: &'static str,
@@ -25,6 +25,22 @@ pub struct Machine {
     pub net: NetParams,
     /// I/O subsystem, when the paper evaluates I/O on this system.
     pub io: Option<PfsConfig>,
+}
+
+impl ToJson for Machine {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("key", self.key)
+            .field("name", self.name)
+            .field("procs", &self.procs)
+            .field("mem_per_proc", &self.mem_per_proc)
+            .field("mem_per_node", &self.mem_per_node)
+            .field("rmax_mflops", &self.rmax_mflops)
+            .field("topology", &self.topology)
+            .field("net", &self.net)
+            .field("io", &self.io)
+            .build()
+    }
 }
 
 impl Machine {

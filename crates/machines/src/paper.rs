@@ -1,10 +1,10 @@
 //! The paper's published numbers, embedded for side-by-side comparison
 //! in the benchmark harness output and EXPERIMENTS.md.
 
-use serde::Serialize;
+use beff_json::{Json, ToJson};
 
 /// One row of the paper's Table 1 (all bandwidths in MByte/s).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     pub machine_key: &'static str,
     pub procs: usize,
@@ -16,6 +16,22 @@ pub struct Table1Row {
     pub beff_at_lmax: f64,
     pub per_proc_at_lmax: f64,
     pub ring_per_proc_at_lmax: f64,
+}
+
+impl ToJson for Table1Row {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("machine_key", self.machine_key)
+            .field("procs", &self.procs)
+            .field("beff", &self.beff)
+            .field("beff_per_proc", &self.beff_per_proc)
+            .field("lmax_mb", &self.lmax_mb)
+            .field("pingpong", &self.pingpong)
+            .field("beff_at_lmax", &self.beff_at_lmax)
+            .field("per_proc_at_lmax", &self.per_proc_at_lmax)
+            .field("ring_per_proc_at_lmax", &self.ring_per_proc_at_lmax)
+            .build()
+    }
 }
 
 /// Table 1 as printed in the paper.

@@ -7,7 +7,7 @@
 //! order) holds by construction.
 
 use crate::message::{Envelope, Tag};
-use parking_lot::{Condvar, Mutex};
+use beff_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::Duration;
 

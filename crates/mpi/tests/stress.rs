@@ -1,9 +1,9 @@
 //! Stress and property tests for the MPI runtime: message storms with
 //! random sizes, collectives under random inputs, communicator algebra.
 
+use beff_check::{check_n, ensure, ensure_eq};
 use beff_mpi::{ReduceOp, World};
 use beff_netsim::{MachineNet, NetParams, Topology};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 #[test]
@@ -77,19 +77,11 @@ fn virtual_time_never_decreases_per_rank() {
     assert!(ok.iter().all(|&b| b));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn allreduce_agrees_with_local_reduction(
-        vals in prop::collection::vec(-1e6f64..1e6, 4),
-        op_pick in 0u8..3,
-    ) {
-        let op = match op_pick {
-            0 => ReduceOp::Sum,
-            1 => ReduceOp::Max,
-            _ => ReduceOp::Min,
-        };
+#[test]
+fn allreduce_agrees_with_local_reduction() {
+    check_n("allreduce agrees with local reduction", 12, |g| {
+        let vals: Vec<f64> = (0..4).map(|_| g.f64(-1e6, 1e6)).collect();
+        let op = *g.choose(&[ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min]);
         let vals = Arc::new(vals);
         let expected = match op {
             ReduceOp::Sum => vals.iter().sum::<f64>(),
@@ -98,29 +90,31 @@ proptest! {
         };
         let out = World::real(4).run(|c| c.allreduce_scalar(vals[c.rank()], op));
         for v in out {
-            prop_assert!((v - expected).abs() < 1e-6 * expected.abs().max(1.0));
+            ensure!((v - expected).abs() < 1e-6 * expected.abs().max(1.0));
         }
-    }
+    });
+}
 
-    #[test]
-    fn bcast_any_root_any_payload(
-        root in 0usize..5,
-        payload in prop::collection::vec(any::<u8>(), 0..4096),
-    ) {
-        let payload = Arc::new(payload);
+#[test]
+fn bcast_any_root_any_payload() {
+    check_n("bcast any root any payload", 12, |g| {
+        let root = g.usize(0..=4);
+        let payload = Arc::new(g.vec(0..=4095, |g| g.u64(0..=255) as u8));
         let out = World::real(5).run(|c| {
             let mut data = if c.rank() == root { (*payload).clone() } else { Vec::new() };
             c.bcast(root, &mut data);
             data
         });
         for d in out {
-            prop_assert_eq!(&d, &*payload);
+            ensure_eq!(&d, &*payload);
         }
-    }
+    });
+}
 
-    #[test]
-    fn split_partitions_are_exact(colors in prop::collection::vec(0u32..3, 6)) {
-        let colors = Arc::new(colors);
+#[test]
+fn split_partitions_are_exact() {
+    check_n("split partitions are exact", 12, |g| {
+        let colors = Arc::new((0..6).map(|_| g.u32(0..=2)).collect::<Vec<u32>>());
         let out = World::real(6).run(|c| {
             let color = colors[c.rank()];
             let sub = c.split(Some(color), c.rank() as i64).unwrap();
@@ -129,14 +123,17 @@ proptest! {
         for want in 0u32..3 {
             let members: Vec<_> = out.iter().filter(|(c, _, _)| *c == want).collect();
             for (i, (_, size, rank)) in members.iter().enumerate() {
-                prop_assert_eq!(*size, members.len());
-                prop_assert_eq!(*rank, i, "ranks ordered by key=world rank");
+                ensure_eq!(*size, members.len());
+                ensure_eq!(*rank, i, "ranks ordered by key=world rank");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn alltoallv_random_counts_roundtrip(seed in 0u64..1000) {
+#[test]
+fn alltoallv_random_counts_roundtrip() {
+    check_n("alltoallv random counts roundtrip", 12, |g| {
+        let seed = g.u64(0..=999);
         let n = 4usize;
         let out = World::real(n).run(move |c| {
             // deterministic pseudo-random counts known to all ranks
@@ -170,6 +167,6 @@ proptest! {
             }
             ok
         });
-        prop_assert!(out.iter().all(|&b| b));
-    }
+        ensure!(out.iter().all(|&b| b));
+    });
 }

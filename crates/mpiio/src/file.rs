@@ -15,7 +15,7 @@ use crate::view::FileView;
 use crate::world::{IoWorld, Storage};
 use beff_mpi::{Comm, EngineCfg};
 use beff_pfs::{DataRef, FsFile, LocalFile};
-use parking_lot::Mutex;
+use beff_sync::Mutex;
 use std::io;
 use std::sync::Arc;
 

@@ -4,8 +4,10 @@
 //! change performance; these knobs are also what the two-phase ablation
 //! benches flip.
 
+use beff_json::{Json, ToJson};
+
 /// Collective-buffering / two-phase I/O hints.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hints {
     /// Enable two-phase collective optimization (ROMIO `romio_cb_write`).
     pub cb_enable: bool,
@@ -40,6 +42,20 @@ impl Default for Hints {
             ds_write: false,
             ds_buffer_size: 4 * 1024 * 1024,
         }
+    }
+}
+
+impl ToJson for Hints {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("cb_enable", &self.cb_enable)
+            .field("cb_buffer_size", &self.cb_buffer_size)
+            .field("cb_nodes", &self.cb_nodes)
+            .field("force_two_phase", &self.force_two_phase)
+            .field("ds_read", &self.ds_read)
+            .field("ds_write", &self.ds_write)
+            .field("ds_buffer_size", &self.ds_buffer_size)
+            .build()
     }
 }
 

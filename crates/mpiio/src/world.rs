@@ -2,7 +2,7 @@
 //! plus cross-rank shared state (shared file pointers).
 
 use beff_pfs::{LocalDisk, Pfs};
-use parking_lot::Mutex;
+use beff_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -1,11 +1,11 @@
 //! Property tests for the MPI-IO layer: shared-pointer disjointness
 //! and ordered-write layout under arbitrary message sizes.
 
+use beff_check::{check_n, ensure, ensure_eq};
 use beff_mpi::World;
 use beff_mpiio::{AMode, Hints, IoWorld, MpiFile};
 use beff_netsim::{MachineNet, NetParams, Topology};
 use beff_pfs::{Pfs, PfsConfig};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 fn world(n: usize) -> (World, Arc<IoWorld>) {
@@ -18,15 +18,11 @@ fn world(n: usize) -> (World, Arc<IoWorld>) {
     (World::sim(net).copy_data(true), IoWorld::sim(pfs))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn write_shared_claims_are_disjoint_and_complete(
-        sizes in prop::collection::vec(1usize..5_000, 4),
-        rounds in 1usize..4,
-    ) {
-        let sizes = Arc::new(sizes);
+#[test]
+fn write_shared_claims_are_disjoint_and_complete() {
+    check_n("write shared claims are disjoint and complete", 12, |g| {
+        let sizes = Arc::new((0..4).map(|_| g.usize(1..=4_999)).collect::<Vec<_>>());
+        let rounds = g.usize(1..=3);
         let (w, io) = world(4);
         let total_expected: u64 =
             (sizes.iter().map(|&s| s as u64).sum::<u64>()) * rounds as u64;
@@ -43,16 +39,16 @@ proptest! {
             (size, ptr)
         });
         for (size, ptr) in finals {
-            prop_assert_eq!(size, total_expected);
-            prop_assert_eq!(ptr, total_expected);
+            ensure_eq!(size, total_expected);
+            ensure_eq!(ptr, total_expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn write_ordered_layout_is_rank_major(
-        sizes in prop::collection::vec(1usize..2_000, 3),
-    ) {
-        let sizes = Arc::new(sizes);
+#[test]
+fn write_ordered_layout_is_rank_major() {
+    check_n("write ordered layout is rank major", 12, |g| {
+        let sizes = Arc::new((0..3).map(|_| g.usize(1..=1_999)).collect::<Vec<_>>());
         let (w, io) = world(3);
         let ok = w.run(|c| {
             let mut f = MpiFile::open(c, &io, "wo", AMode::read_write_create(), Hints::default())
@@ -75,14 +71,14 @@ proptest! {
             f.close(c);
             good
         });
-        prop_assert!(ok.iter().all(|&b| b));
-    }
+        ensure!(ok.iter().all(|&b| b));
+    });
+}
 
-    #[test]
-    fn explicit_offsets_and_pointers_agree(
-        chunks in prop::collection::vec(1usize..3_000, 1..8),
-    ) {
-        let chunks = Arc::new(chunks);
+#[test]
+fn explicit_offsets_and_pointers_agree() {
+    check_n("explicit offsets and pointers agree", 12, |g| {
+        let chunks = Arc::new(g.vec(1..=7, |g| g.usize(1..=2_999)));
         let (w, io) = world(2);
         let ok = w.run(|c| {
             let mut f = MpiFile::open(c, &io, "eq", AMode::read_write_create(), Hints::default())
@@ -104,6 +100,6 @@ proptest! {
             f.close(c);
             good
         });
-        prop_assert!(ok.iter().all(|&b| b));
-    }
+        ensure!(ok.iter().all(|&b| b));
+    });
 }

@@ -22,10 +22,10 @@
 use crate::link::Link;
 use crate::topology::{LinkKind, Topology};
 use crate::units::{byte_time, Secs};
-use serde::{Deserialize, Serialize};
+use beff_json::{Json, ToJson};
 
 /// Latency/bandwidth pair for one link kind.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Tier {
     /// Head latency in seconds.
     pub latency: Secs,
@@ -43,8 +43,17 @@ impl Tier {
     }
 }
 
+impl ToJson for Tier {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("latency", &self.latency)
+            .field("mbps", &self.mbps)
+            .build()
+    }
+}
+
 /// Cost parameters of a machine's communication subsystem.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetParams {
     /// Sender CPU overhead per message (seconds).
     pub o_send: Secs,
@@ -83,6 +92,22 @@ impl Default for NetParams {
             nic: Tier::new(5e-6, 150.0),
             backplane: None,
         }
+    }
+}
+
+impl ToJson for NetParams {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("o_send", &self.o_send)
+            .field("o_recv", &self.o_recv)
+            .field("self_mbps", &self.self_mbps)
+            .field("port", &self.port)
+            .field("node_mem", &self.node_mem)
+            .field("hop", &self.hop)
+            .field("membus", &self.membus)
+            .field("nic", &self.nic)
+            .field("backplane", &self.backplane)
+            .build()
     }
 }
 

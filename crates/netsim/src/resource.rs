@@ -12,7 +12,7 @@
 //! (documented in DESIGN.md §3).
 
 use crate::units::Secs;
-use parking_lot::Mutex;
+use beff_sync::Mutex;
 
 /// A serially-reusable resource with a next-free-time.
 #[derive(Debug, Default)]

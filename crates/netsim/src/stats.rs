@@ -5,10 +5,10 @@
 
 use crate::model::MachineNet;
 use crate::topology::LinkKind;
-use serde::Serialize;
+use beff_json::{Json, ToJson};
 
 /// Aggregated traffic of one link kind.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct KindStats {
     pub links: usize,
     pub bytes: u64,
@@ -17,8 +17,19 @@ pub struct KindStats {
     pub max_link_bytes: u64,
 }
 
+impl ToJson for KindStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("links", &self.links)
+            .field("bytes", &self.bytes)
+            .field("messages", &self.messages)
+            .field("max_link_bytes", &self.max_link_bytes)
+            .build()
+    }
+}
+
 /// A traffic report over all link kinds.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TrafficReport {
     pub port_out: KindStats,
     pub port_in: KindStats,
@@ -27,6 +38,20 @@ pub struct TrafficReport {
     pub membus: KindStats,
     pub nic_out: KindStats,
     pub nic_in: KindStats,
+}
+
+impl ToJson for TrafficReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("port_out", &self.port_out)
+            .field("port_in", &self.port_in)
+            .field("node_mem", &self.node_mem)
+            .field("hop", &self.hop)
+            .field("membus", &self.membus)
+            .field("nic_out", &self.nic_out)
+            .field("nic_in", &self.nic_in)
+            .build()
+    }
 }
 
 impl TrafficReport {

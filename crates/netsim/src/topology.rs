@@ -23,7 +23,7 @@
 //!   shared memory bus inside the node and NIC in/out ports between
 //!   nodes over a contention-free switch (Hitachi SR 8000, IBM SP).
 
-use serde::{Deserialize, Serialize};
+use beff_json::{Json, ToJson};
 
 /// How consecutive MPI ranks are laid out on an SMP cluster.
 ///
@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// *round-robin* placement makes ring neighbors land on different nodes
 /// (all traffic crosses NICs), *sequential* keeps most neighbors inside
 /// a node (fast shared memory).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// rank r lives on node `r / ppn` (fills one node before the next).
     Sequential,
@@ -61,13 +61,57 @@ pub enum LinkKind {
 }
 
 /// Network shape. See module docs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Topology {
     Crossbar { procs: usize },
     Ring { procs: usize },
     Torus2D { dims: [usize; 2] },
     Torus3D { dims: [usize; 3] },
     SmpCluster { nodes: usize, ppn: usize, placement: Placement },
+}
+
+impl ToJson for Placement {
+    fn to_json(&self) -> Json {
+        // Externally-tagged unit variants serialize as bare strings.
+        Json::Str(
+            match self {
+                Placement::Sequential => "Sequential",
+                Placement::RoundRobin => "RoundRobin",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl ToJson for Topology {
+    fn to_json(&self) -> Json {
+        // Externally-tagged struct variants: {"Name": {fields…}}.
+        match self {
+            Topology::Crossbar { procs } => Json::variant(
+                "Crossbar",
+                Json::object().field("procs", procs).build(),
+            ),
+            Topology::Ring { procs } => {
+                Json::variant("Ring", Json::object().field("procs", procs).build())
+            }
+            Topology::Torus2D { dims } => Json::variant(
+                "Torus2D",
+                Json::object().field("dims", dims).build(),
+            ),
+            Topology::Torus3D { dims } => Json::variant(
+                "Torus3D",
+                Json::object().field("dims", dims).build(),
+            ),
+            Topology::SmpCluster { nodes, ppn, placement } => Json::variant(
+                "SmpCluster",
+                Json::object()
+                    .field("nodes", nodes)
+                    .field("ppn", ppn)
+                    .field("placement", placement)
+                    .build(),
+            ),
+        }
+    }
 }
 
 impl Topology {

@@ -1,53 +1,52 @@
 //! Property tests for the network simulator substrate.
 
+use beff_check::{check, ensure, ensure_eq, Gen};
 use beff_netsim::{
     Clock, MachineNet, NetParams, Placement, Resource, Rng64, Topology, VClock,
 };
-use proptest::prelude::*;
 
-fn arb_topology() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        (1usize..32).prop_map(|procs| Topology::Crossbar { procs }),
-        (2usize..32).prop_map(|procs| Topology::Ring { procs }),
-        ((1usize..6), (1usize..6)).prop_map(|(x, y)| Topology::Torus2D { dims: [x, y] }),
-        ((1usize..4), (1usize..4), (1usize..4))
-            .prop_map(|(x, y, z)| Topology::Torus3D { dims: [x, y, z] }),
-        ((1usize..5), (1usize..5), prop_oneof![
-            Just(Placement::Sequential),
-            Just(Placement::RoundRobin)
-        ])
-            .prop_map(|(nodes, ppn, placement)| Topology::SmpCluster { nodes, ppn, placement }),
-    ]
+fn gen_topology(g: &mut Gen) -> Topology {
+    match g.usize(0..=4) {
+        0 => Topology::Crossbar { procs: g.usize(1..=31) },
+        1 => Topology::Ring { procs: g.usize(2..=31) },
+        2 => Topology::Torus2D { dims: [g.usize(1..=5), g.usize(1..=5)] },
+        3 => Topology::Torus3D {
+            dims: [g.usize(1..=3), g.usize(1..=3), g.usize(1..=3)],
+        },
+        _ => Topology::SmpCluster {
+            nodes: g.usize(1..=4),
+            ppn: g.usize(1..=4),
+            placement: *g.choose(&[Placement::Sequential, Placement::RoundRobin]),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn routes_stay_in_link_space_and_split_consistently(
-        topo in arb_topology(),
-        a in 0usize..1000,
-        b in 0usize..1000,
-    ) {
+#[test]
+fn routes_stay_in_link_space_and_split_consistently() {
+    check("routes stay in link space", |g| {
+        let topo = gen_topology(g);
         let n = topo.procs();
-        let (src, dst) = (a % n, b % n);
+        let (src, dst) = (g.usize(0..=999) % n, g.usize(0..=999) % n);
         for l in topo.route(src, dst) {
-            prop_assert!(l < topo.num_links());
+            ensure!(l < topo.num_links());
         }
         let (mut e, mut i) = (Vec::new(), Vec::new());
         topo.route_split_into(src, dst, &mut e, &mut i);
         for l in e.iter().chain(i.iter()) {
-            prop_assert!(*l < topo.num_links());
+            ensure!(*l < topo.num_links());
         }
         if src == dst {
-            prop_assert!(e.is_empty() && i.is_empty());
+            ensure!(e.is_empty() && i.is_empty());
         } else {
-            prop_assert!(!e.is_empty() && !i.is_empty());
+            ensure!(!e.is_empty() && !i.is_empty());
         }
-    }
+    });
+}
 
-    #[test]
-    fn resource_reservations_never_overlap(
-        requests in prop::collection::vec((0.0f64..100.0, 0.001f64..5.0), 1..50)
-    ) {
+#[test]
+fn resource_reservations_never_overlap() {
+    check("resource reservations never overlap", |g| {
+        let requests = g.vec(1..=49, |g| (g.f64(0.0, 100.0), g.f64(0.001, 5.0)));
         let r = Resource::new();
         let mut spans: Vec<(f64, f64)> = requests
             .iter()
@@ -58,43 +57,53 @@ proptest! {
             .collect();
         spans.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
         for w in spans.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0 + 1e-9);
+            ensure!(w[0].1 <= w[1].0 + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn vclock_is_monotone(ops in prop::collection::vec((0u8..2, 0.0f64..10.0), 1..100)) {
+#[test]
+fn vclock_is_monotone() {
+    check("vclock is monotone", |g| {
+        let ops = g.vec(1..=99, |g| (g.bool(), g.f64(0.0, 10.0)));
         let mut c = VClock::new();
         let mut last = 0.0;
-        for (kind, v) in ops {
-            if kind == 0 { c.advance(v) } else { c.advance_to(v) }
-            prop_assert!(c.now() >= last);
+        for (advance_by, v) in ops {
+            if advance_by {
+                c.advance(v)
+            } else {
+                c.advance_to(v)
+            }
+            ensure!(c.now() >= last);
             last = c.now();
         }
-    }
+    });
+}
 
-    #[test]
-    fn pricing_is_causally_sane(
-        topo in arb_topology(),
-        bytes in 0u64..10_000_000,
-        inject in 0.0f64..1000.0,
-        a in 0usize..1000,
-        b in 0usize..1000,
-    ) {
+#[test]
+fn pricing_is_causally_sane() {
+    check("pricing is causally sane", |g| {
+        let topo = gen_topology(g);
         let n = topo.procs();
+        let bytes = g.u64(0..=9_999_999);
+        let inject = g.f64(0.0, 1000.0);
+        let (a, b) = (g.usize(0..=999) % n, g.usize(0..=999) % n);
         let net = MachineNet::new(topo, NetParams::default());
-        let tr = net.transfer(a % n, b % n, bytes, inject);
-        prop_assert!(tr.injected >= inject);
-        prop_assert!(tr.arrival >= tr.injected - 1e-12);
-        prop_assert!(tr.arrival.is_finite());
-    }
+        let tr = net.transfer(a, b, bytes, inject);
+        ensure!(tr.injected >= inject);
+        ensure!(tr.arrival >= tr.injected - 1e-12);
+        ensure!(tr.arrival.is_finite());
+    });
+}
 
-    #[test]
-    fn rng_permutations_are_valid(n in 1usize..500, seed in 0u64..10_000) {
-        let mut rng = Rng64::new(seed);
+#[test]
+fn rng_permutations_are_valid() {
+    check("rng permutations are valid", |g| {
+        let n = g.usize(1..=499);
+        let mut rng = Rng64::new(g.u64(0..=9999));
         let p = rng.permutation(n);
         let mut sorted = p.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
-    }
+        ensure_eq!(sorted, (0..n).collect::<Vec<_>>());
+    });
 }

@@ -21,7 +21,7 @@
 
 use crate::config::PfsConfig;
 use beff_netsim::{Secs, MB};
-use parking_lot::Mutex;
+use beff_sync::Mutex;
 
 /// Cache block granularity for hit/miss bookkeeping.
 pub const CACHE_BLOCK: u64 = 64 * 1024;

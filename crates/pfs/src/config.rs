@@ -5,11 +5,11 @@
 //! cache size — plus the per-request software overheads that make the
 //! 1 kB-chunk patterns slow on every real system in Fig. 4.
 
+use beff_json::{Json, ToJson};
 use beff_netsim::Secs;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a simulated parallel filesystem.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PfsConfig {
     /// Number of MPI clients that may issue I/O (per-client links).
     pub clients: usize,
@@ -43,6 +43,27 @@ pub struct PfsConfig {
     /// Keep file contents so reads return the written bytes
     /// (integrity tests: on; large benchmark runs: off).
     pub store_data: bool,
+}
+
+impl ToJson for PfsConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("clients", &self.clients)
+            .field("servers", &self.servers)
+            .field("stripe_unit", &self.stripe_unit)
+            .field("disk_block", &self.disk_block)
+            .field("server_request_overhead", &self.server_request_overhead)
+            .field("server_mbps", &self.server_mbps)
+            .field("client_request_overhead", &self.client_request_overhead)
+            .field("client_mbps", &self.client_mbps)
+            .field("aggregate_mbps", &self.aggregate_mbps)
+            .field("cache_bytes", &self.cache_bytes)
+            .field("cache_mbps", &self.cache_mbps)
+            .field("open_cost", &self.open_cost)
+            .field("close_cost", &self.close_cost)
+            .field("store_data", &self.store_data)
+            .build()
+    }
 }
 
 impl PfsConfig {

@@ -2,7 +2,7 @@
 //! content store, and per-block cache residency stamps.
 
 use crate::cache::CACHE_BLOCK;
-use parking_lot::Mutex;
+use beff_sync::Mutex;
 use std::collections::HashMap;
 
 #[derive(Debug, Default)]

@@ -29,7 +29,7 @@ use crate::file::FsFile;
 use crate::server::Server;
 use crate::stripe;
 use beff_netsim::{Resource, Secs, MB};
-use parking_lot::Mutex;
+use beff_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

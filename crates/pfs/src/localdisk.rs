@@ -3,7 +3,7 @@
 //! Uses positioned I/O (`pread`/`pwrite`) so concurrent ranks do not
 //! fight over a shared cursor.
 
-use parking_lot::Mutex;
+use beff_sync::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io;

@@ -5,7 +5,7 @@
 //! failure/degradation injection.
 
 use beff_netsim::{Resource, Secs, MB};
-use parking_lot::Mutex;
+use beff_sync::Mutex;
 
 /// How many concurrent stream tails the server's track buffers follow.
 const STREAMS: usize = 16;

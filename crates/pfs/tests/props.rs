@@ -1,17 +1,18 @@
 //! Property tests for the parallel-filesystem simulator.
 
+use beff_check::{check, ensure, ensure_eq};
 use beff_pfs::{DataRef, Pfs, PfsConfig};
-use proptest::prelude::*;
 
 fn store_cfg() -> PfsConfig {
     PfsConfig { clients: 4, store_data: true, ..PfsConfig::default() }
 }
 
-proptest! {
-    #[test]
-    fn write_read_roundtrip_arbitrary_layout(
-        writes in prop::collection::vec((0u64..500_000, 1usize..20_000, any::<u8>()), 1..12)
-    ) {
+#[test]
+fn write_read_roundtrip_arbitrary_layout() {
+    check("write read roundtrip arbitrary layout", |g| {
+        let writes = g.vec(1..=11, |g| {
+            (g.u64(0..=499_999), g.usize(1..=19_999), g.u64(0..=255) as u8)
+        });
         let pfs = Pfs::new(store_cfg());
         let (f, mut t) = pfs.open("p", 0.0);
         // apply writes in order; remember the final byte value per range
@@ -35,17 +36,18 @@ proptest! {
         for (&p, &v) in &model {
             let mut out = [0u8; 1];
             let (nread, _) = pfs.read(1, &f, p, 1, Some(&mut out), t);
-            prop_assert_eq!(nread, 1);
-            prop_assert_eq!(out[0], v, "byte at {}", p);
+            ensure_eq!(nread, 1);
+            ensure_eq!(out[0], v, "byte at {}", p);
         }
-    }
+    });
+}
 
-    #[test]
-    fn completion_times_are_monotone_in_length(
-        off in 0u64..1_000_000,
-        len in 1u64..1_000_000,
-        extra in 1u64..1_000_000,
-    ) {
+#[test]
+fn completion_times_are_monotone_in_length() {
+    check("completion times are monotone in length", |g| {
+        let off = g.u64(0..=999_999);
+        let len = g.u64(1..=999_999);
+        let extra = g.u64(1..=999_999);
         let a = {
             let pfs = Pfs::new(PfsConfig::default());
             let (f, t) = pfs.open("m", 0.0);
@@ -56,26 +58,30 @@ proptest! {
             let (f, t) = pfs.open("m", 0.0);
             pfs.write(0, &f, off, DataRef::Len(len + extra), t)
         };
-        prop_assert!(b >= a, "{b} < {a}");
-    }
+        ensure!(b >= a, "{} < {}", b, a);
+    });
+}
 
-    #[test]
-    fn reads_never_exceed_file_size(
-        file_len in 0u64..100_000,
-        read_off in 0u64..200_000,
-        read_len in 0u64..200_000,
-    ) {
+#[test]
+fn reads_never_exceed_file_size() {
+    check("reads never exceed file size", |g| {
+        let file_len = g.u64(0..=99_999);
+        let read_off = g.u64(0..=199_999);
+        let read_len = g.u64(0..=199_999);
         let pfs = Pfs::new(PfsConfig::default());
         let (f, t) = pfs.open("r", 0.0);
         let t = pfs.write(0, &f, 0, DataRef::Len(file_len), t);
         let (n, done) = pfs.read(0, &f, read_off, read_len, None, t);
-        prop_assert!(n <= read_len);
-        prop_assert!(read_off + n <= file_len.max(read_off));
-        prop_assert!(done >= t);
-    }
+        ensure!(n <= read_len);
+        ensure!(read_off + n <= file_len.max(read_off));
+        ensure!(done >= t);
+    });
+}
 
-    #[test]
-    fn sync_is_idempotent_and_monotone(lens in prop::collection::vec(1u64..4_000_000, 1..6)) {
+#[test]
+fn sync_is_idempotent_and_monotone() {
+    check("sync is idempotent and monotone", |g| {
+        let lens = g.vec(1..=5, |g| g.u64(1..=3_999_999));
         let pfs = Pfs::new(PfsConfig::default());
         let (f, mut t) = pfs.open("s", 0.0);
         let mut off = 0;
@@ -85,8 +91,8 @@ proptest! {
         }
         let s1 = pfs.sync(t);
         let s2 = pfs.sync(s1);
-        prop_assert!(s1 >= t);
+        ensure!(s1 >= t);
         // second sync with nothing dirty is (nearly) free
-        prop_assert!(s2 - s1 < 1e-9, "second sync cost {}", s2 - s1);
-    }
+        ensure!(s2 - s1 < 1e-9, "second sync cost {}", s2 - s1);
+    });
 }

@@ -16,17 +16,23 @@ pub use skampi::{SkampiBlock, SkampiReport};
 pub use table::{Align, Table};
 
 /// Serialize any result structure to pretty JSON (for archiving runs).
-pub fn to_json<T: serde::Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("result types serialize")
+pub fn to_json<T: beff_json::ToJson + ?Sized>(value: &T) -> String {
+    beff_json::to_string_pretty(value)
 }
 
 #[cfg(test)]
 mod tests {
+    use beff_json::{Json, ToJson};
+
     #[test]
     fn json_roundtrip() {
-        #[derive(serde::Serialize)]
         struct S {
             a: u32,
+        }
+        impl ToJson for S {
+            fn to_json(&self) -> Json {
+                Json::object().field("a", &self.a).build()
+            }
         }
         assert!(super::to_json(&S { a: 7 }).contains("\"a\": 7"));
     }

@@ -1,0 +1,170 @@
+//! A `parking_lot`-shaped condition variable over `std::sync::Condvar`.
+//!
+//! `wait` borrows the [`MutexGuard`] mutably instead of consuming it,
+//! which keeps wait loops (`loop { if ready { .. } cond.wait(&mut g) }`)
+//! free of rebinding noise. Internally the `std` guard is taken out of
+//! the wrapper for the duration of the wait and put back before
+//! returning.
+
+use crate::mutex::{unpoison, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Result of a timed wait: did the deadline pass?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    #[inline]
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable; pairs with [`crate::Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self { inner: std::sync::Condvar::new() }
+    }
+
+    /// Block until notified. Spurious wakeups are possible, as with any
+    /// condition variable: callers re-check their predicate in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present");
+        guard.inner = Some(unpoison(self.inner.wait(g)));
+    }
+
+    /// Block until notified or `timeout` elapsed.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present");
+        let (g, r) = unpoison(self.inner.wait_timeout(g, timeout));
+        guard.inner = Some(g);
+        WaitTimeoutResult { timed_out: r.timed_out() }
+    }
+
+    /// Block until notified or the absolute `deadline` passed.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        if timeout.is_zero() {
+            return WaitTimeoutResult { timed_out: true };
+        }
+        self.wait_for(guard, timeout)
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_wakes_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, c) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                c.wait(&mut g);
+            }
+            true
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let (m, c) = &*pair;
+        *m.lock() = true;
+        c.notify_all();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let r = c.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn wait_until_past_deadline_returns_immediately() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let r = c.wait_until(&mut g, Instant::now());
+        assert!(r.timed_out());
+        // the guard is still usable after the timeout path
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn wait_until_wakes_before_deadline() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, c) = &*p2;
+            let deadline = Instant::now() + Duration::from_secs(30);
+            let mut g = m.lock();
+            while *g == 0 {
+                if c.wait_until(&mut g, deadline).timed_out() {
+                    return 0;
+                }
+            }
+            *g
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let (m, c) = &*pair;
+        *m.lock() = 7;
+        c.notify_one();
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn notify_one_wakes_exactly_enough() {
+        // 4 waiters, 4 notifies with the flag set once each: all drain.
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = Arc::clone(&pair);
+                s.spawn(move || {
+                    let (m, c) = &*p;
+                    let mut g = m.lock();
+                    while *g == 0 {
+                        c.wait(&mut g);
+                    }
+                    *g -= 1;
+                });
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            let (m, c) = &*pair;
+            *m.lock() = 4;
+            c.notify_all();
+        });
+        assert_eq!(*pair.0.lock(), 0);
+    }
+}

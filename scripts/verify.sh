@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the whole workspace must build and test with
+# zero network/registry access (DESIGN.md §5), and no Cargo.toml may
+# reintroduce a registry dependency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== guard: every dependency must be an in-tree path crate =="
+bad=0
+while IFS= read -r manifest; do
+    # Inside [dependencies]/[dev-dependencies]/[build-dependencies] (and
+    # [workspace.dependencies]), every entry must carry `path = ...` or
+    # `workspace = true`; anything else is a registry dependency.
+    offenders=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
+        in_deps && /^[A-Za-z0-9_-]+ *=/ {
+            if ($0 !~ /path *=/ && $0 !~ /workspace *= *true/) print FILENAME ": " $0
+        }
+    ' "$manifest")
+    if [ -n "$offenders" ]; then
+        echo "$offenders"
+        bad=1
+    fi
+done < <(find . -name Cargo.toml -not -path "./target/*")
+if [ "$bad" -ne 0 ]; then
+    echo "FAIL: non-path dependency found — the workspace must stay registry-free" >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== build (offline) =="
+cargo build --release --offline --workspace
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+echo "verify.sh: all checks passed"

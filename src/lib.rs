@@ -34,12 +34,18 @@
 //! * [`mpiio`] — file views, shared pointers, collective buffering,
 //! * [`core`] — the two benchmarks themselves,
 //! * [`machines`] — calibrated models (T3E, SP, SR 8000, SX-5, …),
-//! * [`report`] — tables / pseudo-log charts / CSV.
+//! * [`report`] — tables / pseudo-log charts / CSV / JSON dumps,
+//! * [`sync`] — in-tree locks, condvars and MPMC channels over
+//!   `std::sync` (no registry dependencies anywhere in the stack),
+//! * [`json`] — in-tree JSON value model and serde_json-compatible
+//!   writers behind the [`json::ToJson`] trait.
 
 pub use beff_core as core;
+pub use beff_json as json;
 pub use beff_machines as machines;
 pub use beff_mpi as mpi;
 pub use beff_mpiio as mpiio;
 pub use beff_netsim as netsim;
 pub use beff_pfs as pfs;
 pub use beff_report as report;
+pub use beff_sync as sync;

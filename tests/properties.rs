@@ -1,7 +1,10 @@
-//! Cross-crate property-based tests (proptest): invariants that must
+//! Cross-crate property-based tests (beff-check): invariants that must
 //! hold for arbitrary inputs — striping coverage, file-view round
 //! trips, MPI-IO read-back equality under arbitrary chunking, ring
 //! partition rules, averaging bounds.
+//!
+//! A failing case prints its seed; replay a single input with
+//! `BEFF_CHECK_SEED=<seed> cargo test -q <name>`.
 
 use beff::core::beff::{ring_sizes, ring_targets};
 use beff::core::logavg::{logavg, mean};
@@ -9,91 +12,94 @@ use beff::mpi::World;
 use beff::mpiio::{AMode, FileView, Hints, IoWorld, MpiFile};
 use beff::netsim::{MachineNet, NetParams, Topology};
 use beff::pfs::{per_server_bytes, stripe_split, Pfs, PfsConfig};
-use proptest::prelude::*;
+use beff_check::{check, check_n, ensure, ensure_eq};
 use std::sync::Arc;
 
-proptest! {
-    #[test]
-    fn stripe_split_covers_exactly(
-        offset in 0u64..10_000_000,
-        len in 1u64..5_000_000,
-        stripe_kb in 1u64..256,
-        servers in 1usize..16,
-    ) {
-        let su = stripe_kb * 1024;
+#[test]
+fn stripe_split_covers_exactly() {
+    check("stripe split covers exactly", |g| {
+        let offset = g.u64(0..=9_999_999);
+        let len = g.u64(1..=4_999_999);
+        let su = g.u64(1..=255) * 1024;
+        let servers = g.usize(1..=15);
         let extents = stripe_split(offset, len, su, servers);
         // coverage: contiguous, in order, exact
         let mut pos = offset;
         for e in &extents {
-            prop_assert_eq!(e.file_offset, pos);
-            prop_assert!(e.server < servers);
+            ensure_eq!(e.file_offset, pos);
+            ensure!(e.server < servers);
             pos += e.len;
         }
-        prop_assert_eq!(pos, offset + len);
+        ensure_eq!(pos, offset + len);
         // per-server totals agree
         let totals = per_server_bytes(offset, len, su, servers);
-        prop_assert_eq!(totals.iter().sum::<u64>(), len);
-    }
+        ensure_eq!(totals.iter().sum::<u64>(), len);
+    });
+}
 
-    #[test]
-    fn file_view_maps_are_order_preserving_and_total(
-        disp in 0u64..1_000_000,
-        block in 1u64..65_536,
-        stride_mult in 1u64..16,
-        v in 0u64..1_000_000,
-        len in 1u64..500_000,
-    ) {
+#[test]
+fn file_view_maps_are_order_preserving_and_total() {
+    check("file view maps are order preserving and total", |g| {
+        let disp = g.u64(0..=999_999);
+        let block = g.u64(1..=65_535);
+        let stride_mult = g.u64(1..=15);
+        let v = g.u64(0..=999_999);
+        let len = g.u64(1..=499_999);
         let view = FileView::Strided { disp, block, stride: block * stride_mult };
         let segs = view.map_range(v, len);
-        prop_assert_eq!(segs.iter().map(|s| s.1).sum::<u64>(), len);
+        ensure_eq!(segs.iter().map(|s| s.1).sum::<u64>(), len);
         for w in segs.windows(2) {
-            prop_assert!(w[0].0 + w[0].1 <= w[1].0, "overlap/disorder");
+            ensure!(w[0].0 + w[0].1 <= w[1].0, "overlap/disorder");
         }
         // point consistency: first byte of the range
-        prop_assert_eq!(segs[0].0, view.map_offset(v));
-    }
+        ensure_eq!(segs[0].0, view.map_offset(v));
+    });
+}
 
-    #[test]
-    fn ring_partition_covers_all_ranks(n in 2usize..300) {
+#[test]
+fn ring_partition_covers_all_ranks() {
+    check("ring partition covers all ranks", |g| {
+        let n = g.usize(2..=299);
         for target in ring_targets(n) {
             let sizes = ring_sizes(n, target);
-            prop_assert_eq!(sizes.iter().sum::<usize>(), n, "target {}", target);
-            prop_assert!(sizes.iter().all(|&s| s >= 2));
+            ensure_eq!(sizes.iter().sum::<usize>(), n, "target {target}");
+            ensure!(sizes.iter().all(|&s| s >= 2));
         }
-    }
+    });
+}
 
-    #[test]
-    fn logavg_bounds(xs in prop::collection::vec(0.001f64..1e9, 1..20)) {
+#[test]
+fn logavg_bounds() {
+    check("logavg bounds", |g| {
+        let xs = g.vec(1..=19, |g| g.f64(0.001, 1e9));
         let v = logavg(&xs);
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(0.0f64, f64::max);
-        prop_assert!(v >= min * 0.999999 && v <= max * 1.000001);
-        prop_assert!(v <= mean(&xs) * 1.000001, "logavg must not exceed the mean");
-    }
+        ensure!(v >= min * 0.999999 && v <= max * 1.000001);
+        ensure!(v <= mean(&xs) * 1.000001, "logavg must not exceed the mean");
+    });
+}
 
-    #[test]
-    fn virtual_transfer_times_are_monotone_in_size(
-        bytes_a in 1u64..1_000_000,
-        extra in 1u64..1_000_000,
-    ) {
+#[test]
+fn virtual_transfer_times_are_monotone_in_size() {
+    check("virtual transfer times are monotone in size", |g| {
+        let bytes_a = g.u64(1..=999_999);
+        let extra = g.u64(1..=999_999);
         let net = MachineNet::new(Topology::Crossbar { procs: 2 }, NetParams::default());
         let small = net.transfer(0, 1, bytes_a, 0.0).arrival;
         net.reset();
         let big = net.transfer(0, 1, bytes_a + extra, 0.0).arrival;
-        prop_assert!(big >= small);
-    }
+        ensure!(big >= small);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn mpiio_readback_equals_written_under_arbitrary_chunking(
-        chunks in prop::collection::vec(1usize..5_000, 1..12),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn mpiio_readback_equals_written_under_arbitrary_chunking() {
+    check_n("mpiio readback equals written under arbitrary chunking", 16, |g| {
         // two ranks write interleaved chunks of arbitrary sizes through
         // individual pointers, then read everything back and compare
+        let chunks = g.vec(1..=11, |g| g.usize(1..=4_999));
+        let seed = g.u64(0..=999);
         let net = Arc::new(MachineNet::new(
             Topology::Crossbar { procs: 2 },
             NetParams::default(),
@@ -132,15 +138,16 @@ proptest! {
             f.close(c);
             good
         });
-        prop_assert!(ok.iter().all(|&b| b));
-    }
+        ensure!(ok.iter().all(|&b| b));
+    });
+}
 
-    #[test]
-    fn collective_write_all_roundtrips_strided_views(
-        l in 16u64..2048,
-        chunks in 1u64..16,
-        procs in 2usize..5,
-    ) {
+#[test]
+fn collective_write_all_roundtrips_strided_views() {
+    check_n("collective write_all roundtrips strided views", 16, |g| {
+        let l = g.u64(16..=2047);
+        let chunks = g.u64(1..=15);
+        let procs = g.usize(2..=4);
         let net = Arc::new(MachineNet::new(
             Topology::Crossbar { procs },
             NetParams::default(),
@@ -151,10 +158,11 @@ proptest! {
             ..PfsConfig::default()
         }));
         let io = IoWorld::sim(pfs);
-        let ok = World::sim(net).copy_data(true).run(|c| {
+        let ok = World::sim(net).copy_data(true).run(move |c| {
             let n = c.size() as u64;
-            let mut f = MpiFile::open(c, &io, "prop-coll", AMode::read_write_create(), Hints::default())
-                .unwrap();
+            let mut f =
+                MpiFile::open(c, &io, "prop-coll", AMode::read_write_create(), Hints::default())
+                    .unwrap();
             f.set_view(FileView::Strided { disp: c.rank() as u64 * l, block: l, stride: n * l });
             let data: Vec<u8> =
                 (0..l * chunks).map(|i| (i as u8) ^ (c.rank() as u8 + 1)).collect();
@@ -168,6 +176,6 @@ proptest! {
             f.close(c);
             good
         });
-        prop_assert!(ok.iter().all(|&b| b));
-    }
+        ensure!(ok.iter().all(|&b| b));
+    });
 }
