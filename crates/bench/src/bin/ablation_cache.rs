@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run --release -p beff-bench --bin ablation_cache [--full]`
 
-use beff_bench::{full_mode, run_beffio_on};
+use beff_bench::{full_mode, PartitionRunner};
 use beff_core::beffio::BeffIoConfig;
 use beff_machines::by_key;
 use beff_netsim::MB;
@@ -33,13 +33,16 @@ fn main() {
     .align(0, Align::Left);
 
     for cache_mb in [0u64, 256, 2048] {
+        let mut m = base.clone();
+        if let Some(io) = &mut m.io {
+            io.cache_bytes = cache_mb * MB;
+        }
+        // one resident world per cache variant, shared by both T runs
+        // (the filesystem itself is rebuilt fresh inside each run)
+        let runner = PartitionRunner::new(&m, n);
         for t in [t_short, t_long] {
-            let mut m = base.clone();
-            if let Some(io) = &mut m.io {
-                io.cache_bytes = cache_mb * MB;
-            }
             let cfg = BeffIoConfig::paper(m.mem_per_node).with_t(t);
-            let r = run_beffio_on(&m, n, &cfg);
+            let r = runner.beffio(&cfg);
             eprintln!("done: cache={cache_mb}MB T={t}");
             let w = r.method_value(beff_core::beffio::AccessMethod::InitialWrite).unwrap();
             let rd = r.method_value(beff_core::beffio::AccessMethod::Read).unwrap();

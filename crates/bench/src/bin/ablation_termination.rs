@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run --release -p beff-bench --bin ablation_termination [--full]`
 
-use beff_bench::{beffio_cfg, run_beffio_on};
+use beff_bench::{beffio_cfg, PartitionRunner};
 use beff_core::beffio::{PatternType, Termination};
 use beff_machines::by_key;
 use beff_report::{Align, Table};
@@ -16,12 +16,13 @@ fn main() {
     let machine = by_key("t3e").expect("machine");
     let n = 32;
     let m = machine.sized_for(n);
+    let runner = PartitionRunner::new(&m, n);
 
     let mut results = Vec::new();
     for term in [Termination::RootCheck, Termination::Geometric] {
         let mut cfg = beffio_cfg(&m);
         cfg.termination = term;
-        let r = run_beffio_on(&m, n, &cfg);
+        let r = runner.beffio(&cfg);
         eprintln!("done: {term:?}");
         results.push((term, r));
     }

@@ -13,7 +13,7 @@
 //!
 //! Usage: `cargo run --release -p beff-bench --bin ablation_twophase [--full]`
 
-use beff_bench::{beffio_cfg, run_beffio_on};
+use beff_bench::{beffio_cfg, PartitionRunner};
 use beff_core::beffio::PatternType;
 use beff_mpiio::Hints;
 use beff_machines::by_key;
@@ -23,6 +23,7 @@ fn main() {
     let machine = by_key("t3e").expect("machine");
     let n = 16;
     let m = machine.sized_for(n);
+    let runner = PartitionRunner::new(&m, n);
 
     let variants: [(&str, Hints); 3] = [
         ("two-phase on", Hints::default()),
@@ -42,7 +43,7 @@ fn main() {
     for (name, hints) in variants {
         let mut cfg = beffio_cfg(&m);
         cfg.hints = hints;
-        let r = run_beffio_on(&m, n, &cfg);
+        let r = runner.beffio(&cfg);
         eprintln!("done: {name}");
         let w = &r.methods[0];
         let t0 = w.types.iter().find(|t| t.ptype == PatternType::Scatter).unwrap();

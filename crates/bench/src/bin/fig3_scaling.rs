@@ -8,7 +8,7 @@
 //!
 //! Usage: `cargo run --release -p beff-bench --bin fig3_scaling [--full]`
 
-use beff_bench::{full_mode, run_beffio_on};
+use beff_bench::{full_mode, PartitionRunner};
 use beff_core::beffio::BeffIoConfig;
 use beff_machines::{by_key, SP_IO_CLAIM, T3E_IO_CLAIM};
 use beff_report::{Chart, Table};
@@ -26,22 +26,28 @@ fn main() {
     for key in ["t3e", "ibm-sp"] {
         let machine = by_key(key).expect("machine");
         let mut table_rows: Vec<Vec<String>> = Vec::new();
-        let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-        for (t, tname) in &ts {
-            let mut vals = Vec::new();
-            for &n in &partitions {
-                let m = machine.sized_for(n);
+        let mut series: Vec<(String, Vec<f64>)> =
+            ts.iter().map(|(_, tname)| (tname.to_string(), Vec::new())).collect();
+        // partition outer, T inner: each partition's world is spawned
+        // once and reused for every scheduled-time variant
+        for &n in &partitions {
+            let m = machine.sized_for(n);
+            let runner = PartitionRunner::new(&m, n);
+            for (ti, (t, tname)) in ts.iter().enumerate() {
                 let cfg = BeffIoConfig::paper(m.mem_per_node).with_t(*t);
-                let r = run_beffio_on(&m, n, &cfg);
-                vals.push(r.beff_io);
+                let r = runner.beffio(&cfg);
+                series[ti].1.push(r.beff_io);
+                eprintln!("done: {key} {tname} n={n}: {:.1} MB/s", r.beff_io);
+            }
+        }
+        for (ti, (_, tname)) in ts.iter().enumerate() {
+            for (ni, &n) in partitions.iter().enumerate() {
                 table_rows.push(vec![
                     tname.to_string(),
                     n.to_string(),
-                    format!("{:.1}", r.beff_io),
+                    format!("{:.1}", series[ti].1[ni]),
                 ]);
-                eprintln!("done: {key} {tname} n={n}: {:.1} MB/s", r.beff_io);
             }
-            series.push((tname.to_string(), vals));
         }
 
         println!("\nFigure 3 — b_eff_io vs partition size on {}\n", machine.name);

@@ -11,7 +11,7 @@ use beff_core::beff::{run_beff, BeffConfig, MeasureSchedule};
 use beff_machines::t3e;
 use beff_mpi::World;
 use beff_mpiio::FileView;
-use beff_netsim::{MachineNet, NetParams, RouteCache, Topology, KB, MB};
+use beff_netsim::{MachineNet, NetParams, Topology, KB, MB};
 use beff_pfs::{stripe_split, DataRef, Pfs, PfsConfig};
 use beff_report::{Align, Table};
 use std::hint::black_box;
@@ -66,8 +66,7 @@ fn fmt_per_iter(secs: f64) -> String {
 
 fn bench_netsim(h: &mut Harness) {
     let net = MachineNet::new(Topology::Torus3D { dims: [8, 8, 8] }, NetParams::default());
-    let mut cache = RouteCache::new(net.topology().clone());
-    let path: Vec<usize> = cache.path(0, 137).to_vec();
+    let path: Vec<usize> = net.split_route(0, 137).full();
     let mut t = 0.0;
     h.bench("netsim", "price_1mb_transfer", || {
         t += 1.0;
@@ -82,9 +81,9 @@ fn bench_netsim(h: &mut Harness) {
         buf.len()
     });
     let mut j = 0usize;
-    h.bench("netsim", "route_cached", || {
+    h.bench("netsim", "route_shared_table", || {
         j = (j + 1) % 64;
-        cache.path(j, (j + 1) % 64).len()
+        net.split_route(j, (j + 1) % 64).full().len()
     });
 }
 

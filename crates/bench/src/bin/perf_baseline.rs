@@ -1,0 +1,150 @@
+//! Perf baseline of the simulator harness: times representative b_eff
+//! and b_eff_io sweeps end-to-end (world launch included) and writes
+//! the machine-readable trajectory to `BENCH_SIM.json`.
+//!
+//! The recorded `seed_secs` constants are the same sweeps measured on
+//! the pre-optimization harness (per-rank route caches, broadcast
+//! mailbox wakeups, one world per run call) so every future run reports
+//! its speedup against a fixed, honest baseline.
+//!
+//! Usage: `cargo run --release -p beff-bench --bin perf_baseline
+//!         [-- --out BENCH_SIM.json] [--quick]`
+//!
+//! `--quick` skips the 512-rank sweep (CI smoke mode); the JSON then
+//! carries only the sweeps actually run.
+
+use beff_bench::{beffio_cfg_quick_t, has_flag, run_beff_on, run_beffio_on};
+use beff_core::beff::BeffConfig;
+use beff_machines::by_key;
+use beff_json::{Json, ToJson};
+use std::time::Instant;
+
+/// One timed sweep: a named closure plus the seed-harness seconds
+/// measured for the identical sweep before the fast-path work.
+struct Sweep {
+    name: &'static str,
+    /// Wall seconds of the pre-optimization harness (recorded on the
+    /// reference container, 1 CPU; see module docs).
+    seed_secs: f64,
+    heavy: bool,
+    run: fn() -> f64,
+}
+
+fn time_it(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+fn beff_sweep(key: &str, procs: usize) -> f64 {
+    let machine = by_key(key).expect("machine in catalog").sized_for(procs);
+    let cfg = BeffConfig::quick(machine.mem_per_proc);
+    time_it(|| {
+        let r = run_beff_on(&machine, procs, &cfg);
+        assert!(r.beff > 0.0);
+    })
+}
+
+fn beffio_sweep(key: &str, procs: usize) -> f64 {
+    let machine = by_key(key).expect("machine in catalog").sized_for(procs);
+    let cfg = beffio_cfg_quick_t(&machine, 2.0);
+    time_it(|| {
+        let r = run_beffio_on(&machine, procs, &cfg);
+        assert!(r.beff_io > 0.0);
+    })
+}
+
+fn sweeps() -> Vec<Sweep> {
+    vec![
+        Sweep {
+            name: "beff_t3e_64",
+            seed_secs: SEED_BEFF_T3E_64,
+            heavy: false,
+            run: || beff_sweep("t3e", 64),
+        },
+        Sweep {
+            name: "beff_t3e_512",
+            seed_secs: SEED_BEFF_T3E_512,
+            heavy: true,
+            run: || beff_sweep("t3e", 512),
+        },
+        Sweep {
+            name: "beffio_t3e_32",
+            seed_secs: SEED_BEFFIO_T3E_32,
+            heavy: false,
+            run: || beffio_sweep("t3e", 32),
+        },
+    ]
+}
+
+// Pre-optimization (seed) timings of the sweeps above, wall seconds,
+// measured on the reference container (1 CPU) with the seed harness:
+// per-rank route caches, broadcast mailbox wakeups, p2p sim
+// collectives, one OS thread per rank with futex token handoffs.
+const SEED_BEFF_T3E_64: f64 = 1.40;
+const SEED_BEFF_T3E_512: f64 = 25.63;
+const SEED_BEFFIO_T3E_32: f64 = 2.50;
+
+struct Record {
+    name: &'static str,
+    secs: f64,
+    seed_secs: f64,
+}
+
+impl ToJson for Record {
+    fn to_json(&self) -> Json {
+        let speedup = if self.secs > 0.0 && self.seed_secs > 0.0 {
+            self.seed_secs / self.secs
+        } else {
+            0.0
+        };
+        Json::object()
+            .field("name", self.name)
+            .field("secs", &self.secs)
+            .field("seed_secs", &self.seed_secs)
+            .field("speedup", &speedup)
+            .build()
+    }
+}
+
+fn arg_after(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_SIM.json".to_string());
+    let quick = has_flag("--quick");
+
+    let mut records = Vec::new();
+    for s in sweeps() {
+        if quick && s.heavy {
+            eprintln!("skip (quick): {}", s.name);
+            continue;
+        }
+        let secs = (s.run)();
+        eprintln!(
+            "{:<16} {:>8.2} s (seed {:>8.2} s, speedup {:.2}x)",
+            s.name,
+            secs,
+            s.seed_secs,
+            if secs > 0.0 { s.seed_secs / secs } else { 0.0 }
+        );
+        records.push(Record { name: s.name, secs, seed_secs: s.seed_secs });
+    }
+
+    let doc = Json::object()
+        .field("schema", "beff-perf-baseline/1")
+        .field("mode", if quick { "quick" } else { "full" })
+        .raw("sweeps", Json::array(records.iter()))
+        .build();
+    let text = beff_json::to_string_pretty(&doc);
+    beff_json::validate(&text).expect("perf baseline JSON must be well-formed");
+    std::fs::write(&out_path, format!("{text}\n")).expect("write BENCH_SIM.json");
+    println!("wrote {out_path}");
+}

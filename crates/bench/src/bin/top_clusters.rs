@@ -6,7 +6,7 @@
 //!
 //! Usage: `cargo run --release -p beff-bench --bin top_clusters [--full] [--skampi]`
 
-use beff_bench::{beff_cfg, beffio_cfg, has_flag, run_beff_on, run_beffio_on};
+use beff_bench::{beff_cfg, beffio_cfg, has_flag, PartitionRunner};
 use beff_core::Balance;
 use beff_machines::catalog;
 use beff_report::{skampi::SkampiReport, Align, Table};
@@ -30,11 +30,13 @@ fn main() {
         let m = machine.sized_for(if n % 8 == 0 { n } else { machine.procs.min(16) });
         let n = m.procs.min(32);
         let cfg = beff_cfg(&m);
-        let r = run_beff_on(&m, n, &cfg);
+        // one resident world per system serves both benchmarks
+        let runner = PartitionRunner::new(&m, n);
+        let r = runner.beff(&cfg);
         eprintln!("done: {} b_eff", m.key);
         let beff_io = m.io.as_ref().map(|_| {
             let iocfg = beffio_cfg(&m).with_t(10.0);
-            let v = run_beffio_on(&m, n, &iocfg).beff_io;
+            let v = runner.beffio(&iocfg).beff_io;
             eprintln!("done: {} b_eff_io", m.key);
             v
         });

@@ -17,25 +17,74 @@ use beff_core::beff::{run_beff, BeffConfig};
 use beff_core::beffio::{run_beff_io, BeffIoConfig, BeffIoResult};
 use beff_core::BeffResult;
 use beff_machines::Machine;
-use beff_mpi::World;
+use beff_mpi::{World, WorldSession};
 use beff_mpiio::IoWorld;
+use beff_netsim::MachineNet;
+use std::sync::Arc;
 
-/// Run b_eff on the first `procs` processors of a machine model.
-pub fn run_beff_on(machine: &Machine, procs: usize, cfg: &BeffConfig) -> BeffResult {
-    let net = machine.network();
-    let mut results = World::sim_partition(net, procs).run(|c| run_beff(c, cfg));
-    results.swap_remove(0)
+/// A resident simulated partition: one machine network plus one
+/// [`WorldSession`] over its first `procs` processors, reused across
+/// any number of benchmark runs.
+///
+/// Sweeps that probe the same partition repeatedly (scaling figures,
+/// ablation pairs, the perf harness) previously paid a full world
+/// spawn per measurement configuration; a runner pays it once. Between
+/// runs the link occupancy is reset (measurements start from an idle
+/// network) while the memoized route table — topology-derived, so
+/// run-independent — is kept warm. Results are bit-identical to
+/// fresh-world runs; a test in `tests/` pins that.
+pub struct PartitionRunner {
+    machine: Machine,
+    net: Arc<MachineNet>,
+    procs: usize,
+    session: WorldSession,
 }
 
-/// Run b_eff_io on a partition of a machine model (fresh filesystem).
+impl PartitionRunner {
+    pub fn new(machine: &Machine, procs: usize) -> Self {
+        let net = machine.network();
+        let session = World::sim_partition(Arc::clone(&net), procs).session();
+        Self { machine: machine.clone(), net, procs, session }
+    }
+
+    /// Partition size (ranks).
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// Run the full b_eff schedule on the resident partition.
+    pub fn beff(&self, cfg: &BeffConfig) -> BeffResult {
+        self.net.reset();
+        let cfg = cfg.clone();
+        let mut results = self.session.run(move |c| run_beff(c, &cfg));
+        results.swap_remove(0)
+    }
+
+    /// Run the full b_eff_io schedule on the resident partition, with a
+    /// fresh filesystem (b_eff_io semantics: every run starts cold).
+    pub fn beffio(&self, cfg: &BeffIoConfig) -> BeffIoResult {
+        self.net.reset();
+        let pfs = self
+            .machine
+            .filesystem()
+            .unwrap_or_else(|| panic!("{} has no I/O model", self.machine.key));
+        let io = IoWorld::sim(pfs);
+        let cfg = cfg.clone();
+        let mut results = self.session.run(move |c| run_beff_io(c, &io, &cfg));
+        results.swap_remove(0)
+    }
+}
+
+/// Run b_eff on the first `procs` processors of a machine model
+/// (one-shot; sweeps should hold a [`PartitionRunner`] instead).
+pub fn run_beff_on(machine: &Machine, procs: usize, cfg: &BeffConfig) -> BeffResult {
+    PartitionRunner::new(machine, procs).beff(cfg)
+}
+
+/// Run b_eff_io on a partition of a machine model (one-shot, fresh
+/// filesystem; sweeps should hold a [`PartitionRunner`] instead).
 pub fn run_beffio_on(machine: &Machine, procs: usize, cfg: &BeffIoConfig) -> BeffIoResult {
-    let net = machine.network();
-    let pfs = machine
-        .filesystem()
-        .unwrap_or_else(|| panic!("{} has no I/O model", machine.key));
-    let io = IoWorld::sim(pfs);
-    let mut results = World::sim_partition(net, procs).run(|c| run_beff_io(c, &io, cfg));
-    results.swap_remove(0)
+    PartitionRunner::new(machine, procs).beffio(cfg)
 }
 
 /// CLI: `--full` selects the paper-fidelity schedule.
@@ -66,6 +115,12 @@ pub fn beffio_cfg(machine: &Machine) -> BeffIoConfig {
         // minutes of virtual time
         BeffIoConfig::quick(machine.mem_per_node).with_t(30.0)
     }
+}
+
+/// A scaled-down b_eff_io schedule with an explicit scheduled time T
+/// (the perf harness uses small T values so timing runs stay short).
+pub fn beffio_cfg_quick_t(machine: &Machine, t: f64) -> BeffIoConfig {
+    BeffIoConfig::quick(machine.mem_per_node).with_t(t)
 }
 
 /// Format "measured (paper X)" comparison cells.

@@ -1,0 +1,48 @@
+//! Golden determinism tests: the same schedule on the same machine
+//! model must produce *byte-identical* results — across fresh worlds,
+//! across runs of one resident [`PartitionRunner`], and between the
+//! two. The token scheduler promises bit-determinism; these tests pin
+//! it at the level the result files are generated from, so `results/`
+//! regeneration is reproducible by construction.
+//!
+//! Serialized JSON is the comparison medium: it covers every f64 in
+//! the result tree (formatting is deterministic), so two equal strings
+//! mean bitwise-equal numbers.
+
+use beff_bench::{run_beff_on, run_beffio_on, PartitionRunner};
+use beff_core::beff::BeffConfig;
+use beff_core::beffio::BeffIoConfig;
+use beff_machines::by_key;
+
+/// The table1 kernel at reduced scale: full pattern schedule, small
+/// partition.
+#[test]
+fn table1_rows_are_byte_identical_across_runs_and_world_reuse() {
+    let machine = by_key("t3e").expect("machine").sized_for(8);
+    let cfg = BeffConfig::quick(machine.mem_per_proc);
+
+    let fresh_a = beff_json::to_string(&run_beff_on(&machine, 8, &cfg));
+    let fresh_b = beff_json::to_string(&run_beff_on(&machine, 8, &cfg));
+    assert_eq!(fresh_a, fresh_b, "fresh worlds must agree bitwise");
+
+    let runner = PartitionRunner::new(&machine, 8);
+    let reused_a = beff_json::to_string(&runner.beff(&cfg));
+    let reused_b = beff_json::to_string(&runner.beff(&cfg));
+    assert_eq!(reused_a, reused_b, "world reuse must agree bitwise");
+    assert_eq!(fresh_a, reused_a, "reuse must match a fresh world bitwise");
+}
+
+/// The table2/fig5 kernel (b_eff_io patterns) under world reuse: the
+/// filesystem is rebuilt per run, the world is not.
+#[test]
+fn beffio_patterns_are_byte_identical_across_runs_and_world_reuse() {
+    let machine = by_key("t3e").expect("machine").sized_for(4);
+    let cfg = BeffIoConfig::quick(machine.mem_per_node).with_t(2.0);
+
+    let fresh = beff_json::to_string(&run_beffio_on(&machine, 4, &cfg));
+    let runner = PartitionRunner::new(&machine, 4);
+    let reused_a = beff_json::to_string(&runner.beffio(&cfg));
+    let reused_b = beff_json::to_string(&runner.beffio(&cfg));
+    assert_eq!(reused_a, reused_b, "world reuse must agree bitwise");
+    assert_eq!(fresh, reused_a, "reuse must match a fresh world bitwise");
+}

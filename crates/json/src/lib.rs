@@ -26,9 +26,11 @@
 //! );
 //! ```
 
+mod check;
 mod fmt;
 mod value;
 
+pub use check::{validate, JsonError};
 pub use value::{Json, ObjectBuilder, ToJson};
 
 /// Serialize compactly (no whitespace) — `serde_json::to_string` shape.

@@ -26,7 +26,7 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
-    fn apply(self, acc: &mut [f64], other: &[f64]) {
+    pub(crate) fn apply(self, acc: &mut [f64], other: &[f64]) {
         assert_eq!(acc.len(), other.len(), "reduction length mismatch");
         for (a, &b) in acc.iter_mut().zip(other) {
             *a = match self {
@@ -39,11 +39,18 @@ impl ReduceOp {
 }
 
 impl Comm {
-    /// Dissemination barrier.
+    /// Barrier. Simulated worlds rendezvous on a shared board (one
+    /// scheduler yield per rank, closed-form dissemination cost); real
+    /// worlds run the dissemination rounds as actual point-to-point
+    /// traffic.
     pub fn barrier(&mut self) {
         let tag = self.next_coll_tag();
         let n = self.size();
         if n == 1 {
+            return;
+        }
+        if self.is_sim() {
+            self.sim_rendezvous(tag, Vec::new(), None);
             return;
         }
         let r = self.rank();
@@ -119,8 +126,14 @@ impl Comm {
         Some(acc)
     }
 
-    /// Allreduce of an f64 vector (reduce to 0, then broadcast).
+    /// Allreduce of an f64 vector. Simulated worlds use the rendezvous
+    /// board (reduced in rank order, priced as reduce + bcast sweeps);
+    /// real worlds reduce to 0 and broadcast.
     pub fn allreduce_f64(&mut self, vals: &[f64], op: ReduceOp) -> Vec<f64> {
+        if self.size() > 1 && self.is_sim() {
+            let tag = self.next_coll_tag();
+            return self.sim_rendezvous(tag, vals.to_vec(), Some(op));
+        }
         let reduced = self.reduce_f64(0, vals, op);
         let mut buf = reduced.map(|v| wire::encode_f64s(&v)).unwrap_or_default();
         self.bcast(0, &mut buf);

@@ -2,9 +2,10 @@
 //! against.
 //!
 //! A [`Comm`] is one rank's handle on a communication context. It
-//! bundles the world-shared mailboxes, the rank's clock and route
-//! cache, and a context id that isolates message matching between
-//! communicators (so `split`/`dup` behave like MPI communicators).
+//! bundles the world-shared mailboxes, the rank's clock, and a context
+//! id that isolates message matching between communicators (so
+//! `split`/`dup` behave like MPI communicators). Routes are looked up
+//! in the machine-wide shared table (`MachineNet::split_route`).
 //!
 //! Two send flavors exist:
 //!
@@ -22,30 +23,85 @@
 //!   buffered-eager semantics;
 //! * recv: `clock = max(clock, arrival) + o_recv`.
 
+use crate::collectives::ReduceOp;
 use crate::engine::{EngineCfg, RankState};
-use crate::mailbox::{Mailbox, Match};
+use crate::mailbox::{Mailbox, Match, PushOutcome};
 use crate::message::{Envelope, Payload, RecvInfo, Tag, COLLECTIVE_BASE};
+use crate::sched::SimScheduler;
 use crate::wire;
 use beff_netsim::Secs;
+use beff_sync::Mutex;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Rendezvous state for one in-flight simulated collective (one board
+/// per `(ctx, tag)`). Under the token scheduler exactly one rank runs
+/// at a time, so the board sees a deterministic arrival order; the
+/// reduction is nevertheless applied in *rank* order so the result
+/// would not change even if the arrival order did.
+pub(crate) struct CollBoard {
+    /// Per ctx-rank contribution (empty vec for a barrier).
+    vals: Vec<Option<Vec<f64>>>,
+    /// Per ctx-rank virtual arrival time.
+    t_arrive: Vec<Secs>,
+    arrived: usize,
+    /// Set by the last arriver: common exit time + reduced vector.
+    done: Option<(Secs, Vec<f64>)>,
+    /// Ranks that have picked up the result; the last one removes the
+    /// board so tags can be reused after the sequence counter wraps.
+    exited: usize,
+}
+
+impl CollBoard {
+    fn new(n: usize) -> Self {
+        Self {
+            vals: (0..n).map(|_| None).collect(),
+            t_arrive: vec![0.0; n],
+            arrived: 0,
+            done: None,
+            exited: 0,
+        }
+    }
+}
 
 /// State shared by every rank of a world (created by the runtime).
 pub struct WorldShared {
     pub(crate) mailboxes: Vec<Mailbox>,
     pub(crate) engine: EngineCfg,
     pub(crate) next_ctx: AtomicU32,
+    /// Deterministic token scheduler (sim mode only; real mode lets
+    /// the host scheduler run ranks concurrently).
+    pub(crate) sched: Option<SimScheduler>,
+    /// Rendezvous boards for simulated collectives, keyed by
+    /// `(ctx, collective tag)`.
+    pub(crate) boards: Mutex<HashMap<(u32, Tag), CollBoard>>,
 }
 
 impl WorldShared {
     pub fn new(n: usize, engine: EngineCfg) -> Self {
+        let sched = engine.is_sim().then(|| SimScheduler::new(n));
+        Self::with_sched(n, engine, sched)
+    }
+
+    /// Sim world driven by user-space fibers on one host thread rather
+    /// than parked rank threads (see [`crate::sched`]).
+    #[cfg(target_arch = "x86_64")]
+    pub(crate) fn new_fibered(n: usize, engine: EngineCfg) -> Self {
+        debug_assert!(engine.is_sim());
+        Self::with_sched(n, engine, Some(SimScheduler::new_fibers(n)))
+    }
+
+    fn with_sched(n: usize, engine: EngineCfg, sched: Option<SimScheduler>) -> Self {
         Self {
             mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
             engine,
             // ctx 0 is the world communicator
             next_ctx: AtomicU32::new(1),
+            sched,
+            boards: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -139,7 +195,7 @@ impl Comm {
         &self.shared.engine
     }
 
-    /// Shared per-rank state (clock + route cache) for sibling layers.
+    /// Shared per-rank state (the clock) for sibling layers.
     pub fn rank_state(&self) -> Rc<RefCell<RankState>> {
         Rc::clone(&self.state)
     }
@@ -148,7 +204,7 @@ impl Comm {
 
     fn deliver(&self, dst: usize, tag: Tag, head: Secs, arrival: Secs, payload: Payload) {
         let wdst = self.ranks[dst];
-        self.shared.mailboxes[wdst].push(Envelope {
+        let outcome = self.shared.mailboxes[wdst].push(Envelope {
             ctx: self.ctx,
             src: self.rank,
             tag,
@@ -156,6 +212,38 @@ impl Comm {
             arrival,
             payload,
         });
+        // Targeted wakeup: only a push that completed a posted receive
+        // makes the receiver runnable again. Queued pushes wake no one.
+        if outcome == PushOutcome::Matched {
+            if let Some(sched) = &self.shared.sched {
+                sched.unblock(wdst);
+            }
+        }
+    }
+
+    /// Blocking receive from this rank's mailbox. Real mode parks on
+    /// the mailbox condvar; sim mode releases the scheduler token while
+    /// blocked so another rank can make progress deterministically.
+    fn blocking_recv(&self, m: Match) -> Envelope {
+        let wr = self.world_rank();
+        let mb = &self.shared.mailboxes[wr];
+        let Some(sched) = &self.shared.sched else {
+            return mb.recv(m);
+        };
+        loop {
+            if let Some(env) = mb.try_recv(m) {
+                return env;
+            }
+            if mb.is_poisoned() {
+                panic!("world aborted: a peer rank panicked");
+            }
+            let ticket = mb.post(m);
+            sched.yield_blocked(wr);
+            // Woken: either our slot was filled, or the world died.
+            if let Some(env) = mb.take_delivered(ticket) {
+                return env;
+            }
+        }
     }
 
     /// Price and deliver; returns sender-free time (0.0 in real mode).
@@ -173,8 +261,7 @@ impl Comm {
                     let t0 = st.clock.now();
                     let wsrc = self.ranks[self.rank];
                     let wdst = self.ranks[dst];
-                    let routes = st.routes.as_mut().expect("sim mode has routes");
-                    let sr = routes.split(wsrc, wdst);
+                    let sr = net.split_route(wsrc, wdst);
                     let eg = net.price_egress(&sr.egress, payload.len(), t0);
                     (eg.injected, eg.head, eg.finish)
                 };
@@ -248,8 +335,7 @@ impl Comm {
             let mut st = self.state.borrow_mut();
             let wsrc = self.ranks[env.src];
             let wdst = self.ranks[self.rank];
-            let routes = st.routes.as_mut().expect("sim mode has routes");
-            let sr = routes.split(wsrc, wdst);
+            let sr = net.split_route(wsrc, wdst);
             let done =
                 net.price_ingress(&sr.ingress, env.payload.len(), env.head, env.arrival);
             st.clock.advance_to(done);
@@ -260,8 +346,7 @@ impl Comm {
     /// Blocking receive into `buf`. `src`/`tag` of `None` are wildcards.
     /// Panics if the message is longer than `buf`.
     pub fn recv(&mut self, src: Option<usize>, tag: Option<Tag>, buf: &mut [u8]) -> RecvInfo {
-        let env = self.shared.mailboxes[self.world_rank()]
-            .recv(Match { ctx: self.ctx, src, tag });
+        let env = self.blocking_recv(Match { ctx: self.ctx, src, tag });
         self.apply_recv_time(&env);
         let len = env.payload.len();
         if let Payload::Data(d) = &env.payload {
@@ -273,8 +358,7 @@ impl Comm {
 
     /// Blocking receive returning an owned payload (semantic paths).
     pub fn recv_vec(&mut self, src: Option<usize>, tag: Option<Tag>) -> (Vec<u8>, RecvInfo) {
-        let env = self.shared.mailboxes[self.world_rank()]
-            .recv(Match { ctx: self.ctx, src, tag });
+        let env = self.blocking_recv(Match { ctx: self.ctx, src, tag });
         self.apply_recv_time(&env);
         let info = RecvInfo { src: env.src, tag: env.tag, len: env.payload.len() };
         let data = match env.payload {
@@ -291,7 +375,7 @@ impl Comm {
 
     /// Complete a nonblocking receive.
     pub fn wait_recv(&mut self, req: RecvReq) -> (Vec<u8>, RecvInfo) {
-        let env = self.shared.mailboxes[self.world_rank()].recv(req.m);
+        let env = self.blocking_recv(req.m);
         self.apply_recv_time(&env);
         let info = RecvInfo { src: env.src, tag: env.tag, len: env.payload.len() };
         let data = match env.payload {
@@ -354,6 +438,107 @@ impl Comm {
     /// collectives: all ranks must allocate in the same order.
     pub fn alloc_tag(&mut self) -> Tag {
         self.next_coll_tag()
+    }
+
+    /// Closed-form virtual-time cost of one rendezvous collective:
+    /// `rounds` dissemination/tree rounds of a small message, each
+    /// paying both CPU overheads plus the link latencies of the
+    /// round's doubling-distance route. Read-only on the network — the
+    /// synchronization traffic does not occupy links, so the measured
+    /// region that follows starts from the idle network the benchmark's
+    /// barrier is there to provide.
+    fn sim_coll_cost(&self, rounds: u32) -> Secs {
+        let EngineCfg::Sim { net, .. } = &self.shared.engine else {
+            return 0.0;
+        };
+        let p = net.params();
+        let n = self.size();
+        let mut per_sweep = 0.0;
+        let mut k = 1usize;
+        while k < n {
+            let lat = net.route_latency(self.ranks[0], self.ranks[k]);
+            per_sweep += p.o_send + lat + p.o_recv;
+            k <<= 1;
+        }
+        per_sweep * rounds as f64
+    }
+
+    /// Simulated collective fast path: instead of ⌈log₂ n⌉ rounds of
+    /// point-to-point traffic (each round a token handoff per rank),
+    /// every rank posts its contribution on a shared board and parks
+    /// once; the last arriver reduces in rank order, prices the
+    /// collective in closed form ([`sim_coll_cost`](Self::sim_coll_cost))
+    /// and re-queues the waiters. One scheduler yield per rank, zero
+    /// mailbox traffic, bit-deterministic.
+    pub(crate) fn sim_rendezvous(
+        &mut self,
+        tag: Tag,
+        contrib: Vec<f64>,
+        op: Option<ReduceOp>,
+    ) -> Vec<f64> {
+        let n = self.size();
+        debug_assert!(n > 1, "rendezvous on a singleton communicator");
+        let wr = self.world_rank();
+        let key = (self.ctx, tag);
+        let now = self.now();
+        let shared = Arc::clone(&self.shared);
+        let sched = shared.sched.as_ref().expect("sim collectives need the token scheduler");
+        let last = {
+            let mut boards = shared.boards.lock();
+            let b = boards.entry(key).or_insert_with(|| CollBoard::new(n));
+            b.vals[self.rank] = Some(contrib);
+            b.t_arrive[self.rank] = now;
+            b.arrived += 1;
+            b.arrived == n
+        };
+        let (t_exit, result) = if last {
+            // Barrier costs one dissemination sweep; allreduce is
+            // modeled as reduce + bcast (two tree sweeps).
+            let cost = self.sim_coll_cost(if op.is_some() { 2 } else { 1 });
+            let mut boards = shared.boards.lock();
+            let b = boards.get_mut(&key).expect("board exists until all ranks exit");
+            let t_exit = b.t_arrive.iter().fold(0.0_f64, |a, &t| a.max(t)) + cost;
+            let mut acc = b.vals[0].take().expect("every rank contributed");
+            for v in &mut b.vals[1..] {
+                let v = v.take().expect("every rank contributed");
+                match op {
+                    Some(op) => op.apply(&mut acc, &v),
+                    None => debug_assert!(v.is_empty(), "barrier carries no data"),
+                }
+            }
+            b.done = Some((t_exit, acc.clone()));
+            drop(boards);
+            for i in 0..n {
+                if i != self.rank {
+                    sched.unblock(self.ranks[i]);
+                }
+            }
+            (t_exit, acc)
+        } else {
+            loop {
+                sched.yield_blocked(wr);
+                // Woken: either the last arriver published the result,
+                // or the world died while we were parked.
+                if let Some(done) =
+                    shared.boards.lock().get(&key).and_then(|b| b.done.clone())
+                {
+                    break done;
+                }
+                if shared.mailboxes[wr].is_poisoned() {
+                    panic!("world aborted: a peer rank panicked");
+                }
+            }
+        };
+        {
+            let mut boards = shared.boards.lock();
+            let b = boards.get_mut(&key).expect("board exists until all ranks exit");
+            b.exited += 1;
+            if b.exited == n {
+                boards.remove(&key);
+            }
+        }
+        self.advance_to(t_exit);
+        result
     }
 
     // ----- communicator management ----------------------------------------

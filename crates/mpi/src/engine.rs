@@ -8,7 +8,7 @@
 //!    [`beff_netsim::MachineNet`] price in sim mode),
 //! 3. whether benchmark payloads are materialized (`copy_data`).
 
-use beff_netsim::{Clock, MachineNet, RealClock, RouteCache, Secs, VClock};
+use beff_netsim::{Clock, MachineNet, RealClock, Secs, VClock};
 use std::sync::Arc;
 
 /// World-level engine configuration, shared by all ranks.
@@ -79,25 +79,23 @@ impl RankClock {
     }
 }
 
-/// Mutable per-rank simulation state (clock, memoized routes, scratch).
+/// Mutable per-rank simulation state (the rank's clock).
+///
+/// Routes are *not* per-rank state: they live on the machine-wide
+/// [`MachineNet`] route table (`net.split_route`), shared by all ranks
+/// of all worlds on that machine.
 ///
 /// Lives in an `Rc<RefCell<..>>` shared by all communicators of the
 /// rank so that time keeps flowing across `Comm::split`.
 pub struct RankState {
     pub clock: RankClock,
-    pub routes: Option<RouteCache>,
 }
 
 impl RankState {
     pub fn new(engine: &EngineCfg) -> Self {
         match engine {
-            EngineCfg::Real => {
-                Self { clock: RankClock::Real(RealClock::new()), routes: None }
-            }
-            EngineCfg::Sim { net, .. } => Self {
-                clock: RankClock::Virt(VClock::new()),
-                routes: Some(RouteCache::new(net.topology().clone())),
-            },
+            EngineCfg::Real => Self { clock: RankClock::Real(RealClock::new()) },
+            EngineCfg::Sim { .. } => Self { clock: RankClock::Virt(VClock::new()) },
         }
     }
 }
@@ -140,7 +138,6 @@ mod tests {
     fn rank_state_matches_engine() {
         let real = RankState::new(&EngineCfg::Real);
         assert!(!real.clock.is_virtual());
-        assert!(real.routes.is_none());
 
         let net = Arc::new(MachineNet::new(
             Topology::Crossbar { procs: 2 },
@@ -148,6 +145,5 @@ mod tests {
         ));
         let sim = RankState::new(&EngineCfg::Sim { net, copy_data: false });
         assert!(sim.clock.is_virtual());
-        assert!(sim.routes.is_some());
     }
 }

@@ -12,10 +12,14 @@
 //!   machine is, in effect, a small SMP under test.
 //! * **Sim** ([`World::sim`]) — ranks are still host threads, but each
 //!   owns a virtual clock, and every operation is priced by a
-//!   [`beff_netsim::MachineNet`] model. Causality (blocking receives,
-//!   collectives) is enforced by real blocking, so if the MPI program
-//!   is deadlock-free the simulation is too; virtual timestamps flow
-//!   with the messages.
+//!   [`beff_netsim::MachineNet`] model. Rank threads take turns under a
+//!   deterministic token scheduler ([`sched::SimScheduler`]): execution
+//!   order is a pure function of the program, so same seeds give
+//!   bit-identical results, and a genuine deadlock in the MPI program
+//!   is detected and reported instead of hanging.
+//!
+//! Repeated runs on one machine model can reuse a resident world
+//! ([`WorldSession`]) instead of respawning rank threads per run.
 //!
 //! ```
 //! use beff_mpi::World;
@@ -29,9 +33,12 @@
 pub mod collectives;
 pub mod comm;
 pub mod engine;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod fiber;
 pub mod mailbox;
 pub mod message;
 pub mod runtime;
+pub mod sched;
 pub mod topology;
 pub mod wire;
 
@@ -39,5 +46,5 @@ pub use collectives::ReduceOp;
 pub use comm::{Comm, RecvReq, SendReq};
 pub use engine::EngineCfg;
 pub use message::{Payload, RecvInfo, Tag};
-pub use runtime::World;
+pub use runtime::{World, WorldSession};
 pub use topology::{dims_create, CartGrid};

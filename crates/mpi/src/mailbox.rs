@@ -1,10 +1,26 @@
-//! Per-rank mailboxes with MPI-style matching.
+//! Per-rank mailboxes with MPI-style two-queue matching.
 //!
-//! Each rank owns one [`Mailbox`]. Senders lock it and push; receivers
-//! block on a condvar until a matching envelope exists. A single sender
-//! pushes its messages in program order, so the MPI *non-overtaking*
-//! rule (messages between the same pair with the same tag arrive in
-//! order) holds by construction.
+//! Each rank owns one [`Mailbox`] holding two structures:
+//!
+//! * an *unexpected-message* queue: envelopes that arrived before any
+//!   matching receive was posted, in arrival order;
+//! * a *posted-receive* list: pending receives, each with a ticket and
+//!   a slot the matching envelope is delivered into.
+//!
+//! A push first tries to complete the oldest open posted receive it
+//! matches ([`PushOutcome::Matched`] — the only case that wakes
+//! anyone); otherwise it appends to the unexpected queue *silently*
+//! ([`PushOutcome::Queued`]). Receivers scan the unexpected queue once,
+//! then post and sleep — no rescanning of the whole queue per wakeup,
+//! and no wakeups at all for messages nobody is waiting on.
+//!
+//! MPI *non-overtaking* holds by construction: a receive only posts
+//! after finding no match in the unexpected queue, so every envelope
+//! that could match an open slot is a later arrival than anything
+//! queued — per-sender program order is preserved across both paths.
+//!
+//! A single sender pushes its messages in program order, so messages
+//! between the same pair with the same tag complete in order.
 
 use crate::message::{Envelope, Tag};
 use beff_sync::{Condvar, Mutex};
@@ -23,23 +39,65 @@ pub struct Match {
 }
 
 impl Match {
+    /// Does this pattern accept the envelope? (Public so reference
+    /// models in the property tests share the exact production
+    /// predicate.)
     #[inline]
-    fn matches(&self, e: &Envelope) -> bool {
+    pub fn matches(&self, e: &Envelope) -> bool {
         e.ctx == self.ctx
             && self.src.is_none_or(|s| s == e.src)
             && self.tag.is_none_or(|t| t == e.tag)
     }
 }
 
+/// What a push did — drives the targeted-wakeup protocol: only
+/// `Matched` means a receiver is waiting on this envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Delivered straight into a posted receive's slot.
+    Matched,
+    /// Nobody was waiting; appended to the unexpected queue (no wakeup).
+    Queued,
+}
+
+#[derive(Debug)]
+struct Posted {
+    ticket: u64,
+    m: Match,
+    delivered: Option<Envelope>,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
-    q: VecDeque<Envelope>,
+    unexpected: VecDeque<Envelope>,
+    posted: Vec<Posted>,
+    next_ticket: u64,
     /// Set when the world aborts (a rank panicked); wakes blocked
     /// receivers so they do not deadlock on a dead peer.
     poisoned: bool,
 }
 
-/// Unexpected-message queue + wakeup for one rank.
+impl Inner {
+    fn take_unexpected(&mut self, m: Match) -> Option<Envelope> {
+        let pos = self.unexpected.iter().position(|e| m.matches(e))?;
+        Some(self.unexpected.remove(pos).expect("position just found"))
+    }
+
+    fn post(&mut self, m: Match) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.posted.push(Posted { ticket, m, delivered: None });
+        ticket
+    }
+
+    /// Remove the slot for `ticket`, returning its delivery if any.
+    fn remove_slot(&mut self, ticket: u64) -> Option<Envelope> {
+        let pos = self.posted.iter().position(|p| p.ticket == ticket)?;
+        self.posted.swap_remove(pos).delivered
+    }
+}
+
+/// Two-queue matching mailbox + wakeup for one rank.
 #[derive(Debug, Default)]
 pub struct Mailbox {
     inner: Mutex<Inner>,
@@ -51,10 +109,23 @@ impl Mailbox {
         Self::default()
     }
 
-    /// Deliver an envelope (called from the sender's thread).
-    pub fn push(&self, env: Envelope) {
-        self.inner.lock().q.push_back(env);
-        self.cond.notify_all();
+    /// Deliver an envelope (called from the sender's thread). Wakes
+    /// waiters only on [`PushOutcome::Matched`].
+    pub fn push(&self, env: Envelope) -> PushOutcome {
+        let mut g = self.inner.lock();
+        if let Some(slot) = g
+            .posted
+            .iter_mut()
+            .filter(|p| p.delivered.is_none() && p.m.matches(&env))
+            .min_by_key(|p| p.ticket)
+        {
+            slot.delivered = Some(env);
+            drop(g);
+            self.cond.notify_all();
+            return PushOutcome::Matched;
+        }
+        g.unexpected.push_back(env);
+        PushOutcome::Queued
     }
 
     /// Abort: wake every blocked receiver with a panic.
@@ -63,54 +134,107 @@ impl Mailbox {
         self.cond.notify_all();
     }
 
-    /// Blocking receive of the first envelope matching `m` (in arrival
-    /// order, which preserves per-sender ordering).
+    /// Has the world been poisoned?
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poisoned
+    }
+
+    fn panic_poisoned() -> ! {
+        panic!("world aborted: a peer rank panicked")
+    }
+
+    /// Blocking receive of the first envelope matching `m` (unexpected
+    /// arrivals first, in arrival order, which preserves per-sender
+    /// ordering). Used in real mode; sim mode drives the nonblocking
+    /// pieces below under the token scheduler.
     ///
     /// Panics if the world is poisoned (another rank died), so a failed
     /// run aborts instead of deadlocking.
     pub fn recv(&self, m: Match) -> Envelope {
         let mut g = self.inner.lock();
+        if let Some(env) = g.take_unexpected(m) {
+            return env;
+        }
+        if g.poisoned {
+            Self::panic_poisoned();
+        }
+        let ticket = g.post(m);
         loop {
-            if let Some(pos) = g.q.iter().position(|e| m.matches(e)) {
-                return g.q.remove(pos).expect("position just found");
+            self.cond.wait(&mut g);
+            if g.posted.iter().any(|p| p.ticket == ticket && p.delivered.is_some()) {
+                return g.remove_slot(ticket).expect("delivery just observed");
             }
             if g.poisoned {
-                panic!("world aborted: a peer rank panicked");
+                g.remove_slot(ticket);
+                Self::panic_poisoned();
             }
-            self.cond.wait(&mut g);
         }
     }
 
     /// Like [`recv`](Self::recv) but gives up after `timeout` (used by
-    /// deadlock-detecting tests). Returns `None` on timeout.
+    /// deadlock-detecting tests; real mode only). Returns `None` on
+    /// timeout or poison.
     pub fn recv_timeout(&self, m: Match, timeout: Duration) -> Option<Envelope> {
         let deadline = std::time::Instant::now() + timeout;
         let mut g = self.inner.lock();
+        if let Some(env) = g.take_unexpected(m) {
+            return Some(env);
+        }
+        if g.poisoned {
+            return None;
+        }
+        let ticket = g.post(m);
         loop {
-            if let Some(pos) = g.q.iter().position(|e| m.matches(e)) {
-                return Some(g.q.remove(pos).expect("position just found"));
+            let timed_out = self.cond.wait_until(&mut g, deadline).timed_out();
+            // Check the slot even on timeout: a push may have completed
+            // the match as the deadline expired, and that envelope must
+            // not be lost.
+            if g.posted.iter().any(|p| p.ticket == ticket && p.delivered.is_some()) {
+                return g.remove_slot(ticket);
             }
-            if g.poisoned {
-                return None;
-            }
-            if self.cond.wait_until(&mut g, deadline).timed_out() {
+            if g.poisoned || timed_out {
+                g.remove_slot(ticket);
                 return None;
             }
         }
     }
 
-    /// Nonblocking probe: does a matching message exist?
-    pub fn probe(&self, m: Match) -> bool {
-        self.inner.lock().q.iter().any(|e| m.matches(e))
+    // ----- nonblocking pieces for the sim-mode token scheduler ----------
+
+    /// Take a matching envelope from the unexpected queue, if any.
+    pub fn try_recv(&self, m: Match) -> Option<Envelope> {
+        self.inner.lock().take_unexpected(m)
     }
 
-    /// Number of queued envelopes (diagnostics).
+    /// Post a receive and return its ticket. The caller must have just
+    /// tried [`try_recv`](Self::try_recv) (the non-overtaking argument
+    /// relies on the unexpected queue holding no match at post time).
+    pub fn post(&self, m: Match) -> u64 {
+        self.inner.lock().post(m)
+    }
+
+    /// Remove the posted slot for `ticket`, returning the delivered
+    /// envelope if a push completed it.
+    pub fn take_delivered(&self, ticket: u64) -> Option<Envelope> {
+        self.inner.lock().remove_slot(ticket)
+    }
+
+    // ----- probes / diagnostics -----------------------------------------
+
+    /// Nonblocking probe: does an *unclaimed* matching message exist?
+    /// (Envelopes already delivered to a posted receive are spoken for.)
+    pub fn probe(&self, m: Match) -> bool {
+        self.inner.lock().unexpected.iter().any(|e| m.matches(e))
+    }
+
+    /// Number of envelopes held (unexpected + delivered-but-untaken).
     pub fn len(&self) -> usize {
-        self.inner.lock().q.len()
+        let g = self.inner.lock();
+        g.unexpected.len() + g.posted.iter().filter(|p| p.delivered.is_some()).count()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().q.is_empty()
+        self.len() == 0
     }
 }
 
@@ -127,8 +251,8 @@ mod tests {
     #[test]
     fn matches_by_src_and_tag() {
         let mb = Mailbox::new();
-        mb.push(env(0, 1, 10));
-        mb.push(env(0, 2, 20));
+        assert_eq!(mb.push(env(0, 1, 10)), PushOutcome::Queued);
+        assert_eq!(mb.push(env(0, 2, 20)), PushOutcome::Queued);
         let e = mb.recv(Match { ctx: 0, src: Some(2), tag: Some(20) });
         assert_eq!(e.src, 2);
         let e = mb.recv(Match { ctx: 0, src: Some(1), tag: Some(10) });
@@ -175,8 +299,46 @@ mod tests {
             mb2.recv(Match { ctx: 0, src: Some(0), tag: Some(42) }).tag
         });
         std::thread::sleep(Duration::from_millis(20));
-        mb.push(env(0, 0, 42));
+        assert_eq!(mb.push(env(0, 0, 42)), PushOutcome::Matched);
         assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn push_into_posted_slot_reports_matched() {
+        let mb = Mailbox::new();
+        let ticket = mb.post(Match { ctx: 0, src: Some(1), tag: None });
+        assert_eq!(mb.push(env(0, 1, 9)), PushOutcome::Matched);
+        // a second matching push must NOT land in the filled slot
+        assert_eq!(mb.push(env(0, 1, 9)), PushOutcome::Queued);
+        assert!(mb.take_delivered(ticket).is_some());
+    }
+
+    #[test]
+    fn push_skips_nonmatching_posted_slot() {
+        let mb = Mailbox::new();
+        let ticket = mb.post(Match { ctx: 0, src: Some(5), tag: None });
+        assert_eq!(mb.push(env(0, 1, 9)), PushOutcome::Queued);
+        assert!(mb.take_delivered(ticket).is_none());
+        assert!(mb.try_recv(Match { ctx: 0, src: Some(1), tag: None }).is_some());
+    }
+
+    #[test]
+    fn oldest_posted_slot_wins() {
+        let mb = Mailbox::new();
+        let t1 = mb.post(Match { ctx: 0, src: None, tag: None });
+        let t2 = mb.post(Match { ctx: 0, src: None, tag: None });
+        mb.push(env(0, 4, 1));
+        assert!(mb.take_delivered(t1).is_some(), "first posted receive matches first");
+        assert!(mb.take_delivered(t2).is_none());
+    }
+
+    #[test]
+    fn cancelled_post_leaves_no_slot() {
+        let mb = Mailbox::new();
+        let ticket = mb.post(Match { ctx: 0, src: None, tag: None });
+        assert!(mb.take_delivered(ticket).is_none()); // removes the slot
+        assert_eq!(mb.push(env(0, 0, 1)), PushOutcome::Queued);
+        assert_eq!(mb.len(), 1);
     }
 
     #[test]
@@ -187,6 +349,7 @@ mod tests {
             Duration::from_millis(10),
         );
         assert!(r.is_none());
+        assert_eq!(mb.push(env(0, 0, 1)), PushOutcome::Queued, "stale slot must be gone");
     }
 
     #[test]

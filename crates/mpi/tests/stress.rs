@@ -2,6 +2,8 @@
 //! random sizes, collectives under random inputs, communicator algebra.
 
 use beff_check::{check_n, ensure, ensure_eq};
+use beff_mpi::mailbox::{Mailbox, Match, PushOutcome};
+use beff_mpi::message::{Envelope, Payload};
 use beff_mpi::{ReduceOp, World};
 use beff_netsim::{MachineNet, NetParams, Topology};
 use std::sync::Arc;
@@ -75,6 +77,203 @@ fn virtual_time_never_decreases_per_rank() {
         mono
     });
     assert!(ok.iter().all(|&b| b));
+}
+
+/// The pre-optimization mailbox was one linear queue: every envelope
+/// landed in arrival order and every receive scanned it front-to-back.
+/// This reference model reimplements those semantics (with posted
+/// receives as standing front-of-queue scans) so the two-queue mailbox
+/// can be checked against it over random operation sequences.
+mod linear_scan_reference {
+    use super::*;
+
+    struct Slot {
+        id: usize,
+        m: Match,
+        delivered: Option<Envelope>,
+    }
+
+    #[derive(Default)]
+    pub struct Reference {
+        arrivals: Vec<Envelope>,
+        pending: Vec<Slot>,
+        next_id: usize,
+    }
+
+    impl Reference {
+        /// Arrival-order append; a standing receive claims it first
+        /// (oldest open slot wins, as a woken scanner would).
+        pub fn push(&mut self, env: Envelope) -> PushOutcome {
+            if let Some(slot) = self
+                .pending
+                .iter_mut()
+                .find(|s| s.delivered.is_none() && s.m.matches(&env))
+            {
+                slot.delivered = Some(env);
+                return PushOutcome::Matched;
+            }
+            self.arrivals.push(env);
+            PushOutcome::Queued
+        }
+
+        /// Front-to-back scan of everything that has arrived.
+        pub fn try_recv(&mut self, m: Match) -> Option<Envelope> {
+            let pos = self.arrivals.iter().position(|e| m.matches(e))?;
+            Some(self.arrivals.remove(pos))
+        }
+
+        pub fn post(&mut self, m: Match) -> usize {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.pending.push(Slot { id, m, delivered: None });
+            id
+        }
+
+        pub fn take_delivered(&mut self, id: usize) -> Option<Envelope> {
+            let pos = self.pending.iter().position(|s| s.id == id)?;
+            self.pending.remove(pos).delivered
+        }
+    }
+}
+
+#[test]
+fn two_queue_mailbox_matches_linear_scan_reference() {
+    use linear_scan_reference::Reference;
+    check_n("two-queue mailbox == linear scan", 64, |g| {
+        let mb = Mailbox::new();
+        let mut reference = Reference::default();
+        // Tickets of receives that had to be posted, paired model/real.
+        let mut open: Vec<(u64, usize)> = Vec::new();
+        let mut serial = 0u64;
+        let env_at = |ctx: u32, src: usize, tag: u32, serial: u64| Envelope {
+            ctx,
+            src,
+            tag,
+            head: 0.0,
+            arrival: 0.0,
+            payload: Payload::Len(serial),
+        };
+        for _ in 0..g.usize(1..=120) {
+            let ctx = g.u32(0..=1);
+            match g.usize(0..=3) {
+                // push a fresh envelope (serial number identifies it)
+                0 | 1 => {
+                    let (src, tag) = (g.usize(0..=3), g.u32(1..=3));
+                    ensure_eq!(
+                        mb.push(env_at(ctx, src, tag, serial)),
+                        reference.push(env_at(ctx, src, tag, serial))
+                    );
+                    serial += 1;
+                }
+                // receive: immediate take or post, like blocking_recv
+                2 => {
+                    let src = g.usize(0..=3);
+                    let tag = g.u32(1..=3);
+                    let m = Match {
+                        ctx,
+                        src: (g.u64(0..=1) == 1).then_some(src),
+                        tag: (g.u64(0..=1) == 1).then_some(tag),
+                    };
+                    let a = mb.try_recv(m);
+                    let b = reference.try_recv(m);
+                    ensure_eq!(
+                        a.as_ref().map(|e| e.payload.len()),
+                        b.as_ref().map(|e| e.payload.len())
+                    );
+                    if a.is_none() {
+                        open.push((mb.post(m), reference.post(m)));
+                    }
+                }
+                // complete (or cancel) a random outstanding receive
+                _ => {
+                    if !open.is_empty() {
+                        let i = g.usize(0..=open.len() - 1);
+                        let (ticket, id) = open.remove(i);
+                        ensure_eq!(
+                            mb.take_delivered(ticket).map(|e| e.payload.len()),
+                            reference.take_delivered(id).map(|e| e.payload.len())
+                        );
+                    }
+                }
+            }
+        }
+        // Drain every outstanding receive, then the queues themselves:
+        // both models must hold identical envelopes in identical order.
+        for (ticket, id) in open {
+            ensure_eq!(
+                mb.take_delivered(ticket).map(|e| e.payload.len()),
+                reference.take_delivered(id).map(|e| e.payload.len())
+            );
+        }
+        for ctx in 0..=1 {
+            let m = Match { ctx, src: None, tag: None };
+            loop {
+                let a = mb.try_recv(m);
+                let b = reference.try_recv(m);
+                ensure_eq!(
+                    a.as_ref().map(|e| e.payload.len()),
+                    b.as_ref().map(|e| e.payload.len())
+                );
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        ensure!(mb.is_empty());
+    });
+}
+
+/// A lost targeted wakeup strands a receiver forever: push sees no
+/// posted slot, queues silently, and the receiver sleeps on a message
+/// that already arrived. Hammer the racy window (post vs push) from
+/// many threads; `recv_timeout` turns a lost wakeup into a failure
+/// instead of a hang. Debug builds are too slow to open the window
+/// often, so the perf gate runs this under `--release` (verify.sh).
+#[test]
+fn targeted_wakeups_never_lose_a_blocked_receiver() {
+    let rounds = if cfg!(debug_assertions) { 40 } else { 600 };
+    let receivers = 4usize;
+    let msgs_per_receiver = 25u64;
+    for round in 0..rounds {
+        let mb = Arc::new(Mailbox::new());
+        std::thread::scope(|scope| {
+            for r in 0..receivers {
+                let mb = Arc::clone(&mb);
+                scope.spawn(move || {
+                    let m = Match { ctx: 0, src: Some(r), tag: Some(7) };
+                    for i in 0..msgs_per_receiver {
+                        let e = mb
+                            .recv_timeout(m, std::time::Duration::from_secs(20))
+                            .unwrap_or_else(|| {
+                                panic!("round {round}: receiver {r} lost message {i}")
+                            });
+                        assert_eq!(e.payload.len(), i, "per-sender order for receiver {r}");
+                    }
+                });
+            }
+            // One sender interleaves all streams; only pushes that
+            // complete a posted receive may wake anyone.
+            let mb = Arc::clone(&mb);
+            scope.spawn(move || {
+                for i in 0..msgs_per_receiver {
+                    for r in 0..receivers {
+                        mb.push(Envelope {
+                            ctx: 0,
+                            src: r,
+                            tag: 7,
+                            head: 0.0,
+                            arrival: 0.0,
+                            payload: Payload::Len(i),
+                        });
+                    }
+                    if i % 8 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        assert!(mb.is_empty(), "round {round}: every envelope consumed");
+    }
 }
 
 #[test]

@@ -174,14 +174,14 @@ impl MpiFile {
                 let (hdr, info) = comm.recv_vec(None, Some(tag_h));
                 let ps = decode_pieces(&hdr);
                 let total: u64 = ps.iter().map(|p| p.len).sum();
+                all.extend(ps.iter().copied());
                 if total > 0 {
                     let (payload, _) = {
                         let req = comm.irecv(Some(info.src), Some(tag_p));
                         comm.wait_recv(req)
                     };
-                    buffers.push((ps.clone(), payload));
+                    buffers.push((ps, payload));
                 }
-                all.extend(ps);
             }
             let runs = coalesce(all);
             let copy = self.copy_mode(comm);
@@ -255,7 +255,7 @@ impl MpiFile {
                 let (hdr, info) = comm.recv_vec(None, Some(tag_h));
                 requests.push((info.src, decode_pieces(&hdr)));
             }
-            let all: Vec<Piece> = requests.iter().flat_map(|(_, ps)| ps.clone()).collect();
+            let all: Vec<Piece> = requests.iter().flat_map(|(_, ps)| ps.iter().copied()).collect();
             let runs = coalesce(all);
             let copy = self.copy_mode(comm);
             // read each run once

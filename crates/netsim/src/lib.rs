@@ -35,6 +35,6 @@ pub use model::{Egress, MachineNet, NetParams, Tier, Transfer};
 pub use resource::Resource;
 pub use rng::Rng64;
 pub use stats::{traffic_report, KindStats, TrafficReport};
-pub use routing::RouteCache;
+pub use routing::{RouteTable, SplitRoute};
 pub use topology::{LinkKind, Placement, Topology};
 pub use units::{Secs, GB, KB, MB};

@@ -20,9 +20,11 @@
 //! shared-memory SMPs like the HP-V).
 
 use crate::link::Link;
+use crate::routing::{RouteTable, SplitRoute};
 use crate::topology::{LinkKind, Topology};
 use crate::units::{byte_time, Secs};
 use beff_json::{Json, ToJson};
+use std::sync::Arc;
 
 /// Latency/bandwidth pair for one link kind.
 #[derive(Debug, Clone, Copy)]
@@ -152,6 +154,7 @@ pub struct MachineNet {
     params: NetParams,
     links: Vec<Link>,
     backplane: Option<Link>,
+    routes: RouteTable,
 }
 
 impl MachineNet {
@@ -163,7 +166,7 @@ impl MachineNet {
             })
             .collect();
         let backplane = params.backplane.map(|t| Link::new(t.latency, t.byte_time()));
-        Self { topo, params, links, backplane }
+        Self { topo, params, links, backplane, routes: RouteTable::new() }
     }
 
     pub fn procs(&self) -> usize {
@@ -176,6 +179,18 @@ impl MachineNet {
 
     pub fn params(&self) -> &NetParams {
         &self.params
+    }
+
+    /// The machine-wide shared route table: the split route from `src`
+    /// to `dst`, memoized on first use and shared by every rank of every
+    /// world simulated on this machine.
+    pub fn split_route(&self, src: usize, dst: usize) -> Arc<SplitRoute> {
+        self.routes.split(&self.topo, src, dst)
+    }
+
+    /// Number of (src, dst) pairs memoized so far (diagnostics).
+    pub fn routes_memoized(&self) -> usize {
+        self.routes.len()
     }
 
     /// The instantiated links (diagnostics; indices match the
@@ -246,6 +261,18 @@ impl MachineNet {
             }
         }
         finish
+    }
+
+    /// Sum of link head latencies along the `src → dst` route. A
+    /// read-only cost query (no resource is reserved) for closed-form
+    /// models such as the simulated collective rendezvous.
+    pub fn route_latency(&self, src: usize, dst: usize) -> Secs {
+        let sr = self.split_route(src, dst);
+        sr.egress
+            .iter()
+            .chain(sr.ingress.iter())
+            .map(|&l| self.links[l].latency)
+            .sum()
     }
 
     /// Route + price in one call (allocates; hot paths should cache the

@@ -7,9 +7,10 @@
 //! resource answers with the actual start time (max of `earliest` and
 //! its previous next-free time) and remembers the new next-free time.
 //!
-//! Reservation order follows thread scheduling order, so contended
-//! results are *causally consistent* but not bit-identical across runs
-//! (documented in DESIGN.md §3).
+//! Reservation order follows the deterministic token scheduler's rank
+//! interleaving, which is a pure function of the program's own
+//! communication structure — so contended results are bit-identical
+//! across runs (DESIGN.md §3, *Simulator execution model*).
 
 use crate::units::Secs;
 use beff_sync::Mutex;

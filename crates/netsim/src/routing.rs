@@ -1,13 +1,22 @@
-//! Route caching for hot communication paths.
+//! Route memoization for hot communication paths.
 //!
 //! The b_eff inner loops send millions of messages between a handful of
 //! (src, dst) pairs; recomputing (and re-allocating) the link path per
-//! message would dominate simulation cost. [`RouteCache`] memoizes the
-//! paths a rank uses. One cache lives on each rank thread, so no
-//! synchronization is needed.
+//! message would dominate simulation cost. A single [`RouteTable`]
+//! lives on each [`MachineNet`](crate::MachineNet) and is shared by
+//! every rank of every world simulated on that machine: routes are
+//! computed once per (src, dst) pair per *machine*, not once per rank
+//! (the old per-rank `RouteCache` cloned the topology and re-derived
+//! identical routes 512 times on the largest modeled system).
+//!
+//! Interior locking is sharded by pair so that 512 rank threads warming
+//! the table concurrently do not serialize on one lock; steady-state
+//! lookups take a shard read lock only.
 
 use crate::topology::Topology;
+use beff_sync::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A route split into sender-booked and receiver-booked halves.
 #[derive(Debug, Clone)]
@@ -16,44 +25,63 @@ pub struct SplitRoute {
     pub ingress: Box<[usize]>,
 }
 
-/// Per-rank memo of (src, dst) → link path.
-#[derive(Debug)]
-pub struct RouteCache {
-    topo: Topology,
-    map: HashMap<(u32, u32), Box<[usize]>>,
-    split: HashMap<(u32, u32), SplitRoute>,
+impl SplitRoute {
+    /// The full path: egress links followed by ingress links.
+    pub fn full(&self) -> Vec<usize> {
+        let mut v = Vec::with_capacity(self.egress.len() + self.ingress.len());
+        v.extend_from_slice(&self.egress);
+        v.extend_from_slice(&self.ingress);
+        v
+    }
 }
 
-impl RouteCache {
-    pub fn new(topo: Topology) -> Self {
-        Self { topo, map: HashMap::new(), split: HashMap::new() }
+const SHARDS: usize = 16;
+
+/// Machine-wide, lazily-memoized all-pairs route table.
+#[derive(Debug, Default)]
+pub struct RouteTable {
+    shards: [RwLock<HashMap<(u32, u32), Arc<SplitRoute>>>; SHARDS],
+}
+
+impl RouteTable {
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// The link path from `src` to `dst` (empty for self-messages).
-    pub fn path(&mut self, src: usize, dst: usize) -> &[usize] {
-        self.map
-            .entry((src as u32, dst as u32))
-            .or_insert_with(|| self.topo.route(src, dst).into_boxed_slice())
+    #[inline]
+    fn shard(src: usize, dst: usize) -> usize {
+        // src and dst are proc indices (< 2^16 in practice); mix both so
+        // neighboring pairs spread over the shards.
+        (src.wrapping_mul(31).wrapping_add(dst)) % SHARDS
     }
 
     /// The split route from `src` to `dst` (both halves empty for
-    /// self-messages).
-    pub fn split(&mut self, src: usize, dst: usize) -> &SplitRoute {
-        self.split.entry((src as u32, dst as u32)).or_insert_with(|| {
-            let mut e = Vec::new();
-            let mut i = Vec::new();
-            self.topo.route_split_into(src, dst, &mut e, &mut i);
-            SplitRoute { egress: e.into_boxed_slice(), ingress: i.into_boxed_slice() }
-        })
+    /// self-messages), computing and memoizing it on first use.
+    pub fn split(&self, topo: &Topology, src: usize, dst: usize) -> Arc<SplitRoute> {
+        let key = (src as u32, dst as u32);
+        let shard = &self.shards[Self::shard(src, dst)];
+        if let Some(r) = shard.read().get(&key) {
+            return Arc::clone(r);
+        }
+        // Compute outside the write lock; a racing thread may compute
+        // the same route, in which case the first insert wins.
+        let mut e = Vec::new();
+        let mut i = Vec::new();
+        topo.route_split_into(src, dst, &mut e, &mut i);
+        let route = Arc::new(SplitRoute {
+            egress: e.into_boxed_slice(),
+            ingress: i.into_boxed_slice(),
+        });
+        Arc::clone(shard.write().entry(key).or_insert(route))
     }
 
     /// Number of memoized pairs (diagnostics).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 }
 
@@ -62,42 +90,65 @@ mod tests {
     use super::*;
 
     #[test]
-    fn cache_returns_same_path_as_topology() {
+    fn table_matches_topology_for_all_pairs() {
         let topo = Topology::Torus2D { dims: [4, 4] };
-        let mut cache = RouteCache::new(topo.clone());
+        let table = RouteTable::new();
         for s in 0..16 {
             for d in 0..16 {
-                assert_eq!(cache.path(s, d), topo.route(s, d).as_slice());
+                let sr = table.split(&topo, s, d);
+                let (mut e, mut i) = (Vec::new(), Vec::new());
+                topo.route_split_into(s, d, &mut e, &mut i);
+                assert_eq!(&*sr.egress, e.as_slice(), "{s}->{d}");
+                assert_eq!(&*sr.ingress, i.as_slice(), "{s}->{d}");
+                assert_eq!(sr.full(), topo.route(s, d), "{s}->{d}");
             }
         }
-        assert_eq!(cache.len(), 256);
+        assert_eq!(table.len(), 256);
     }
 
     #[test]
-    fn cache_does_not_grow_on_repeats() {
-        let mut cache = RouteCache::new(Topology::Ring { procs: 8 });
-        cache.path(0, 1);
-        cache.path(0, 1);
-        cache.path(0, 1);
-        assert_eq!(cache.len(), 1);
+    fn table_does_not_grow_on_repeats() {
+        let topo = Topology::Ring { procs: 8 };
+        let table = RouteTable::new();
+        table.split(&topo, 0, 1);
+        table.split(&topo, 0, 1);
+        table.split(&topo, 0, 1);
+        assert_eq!(table.len(), 1);
     }
 
     #[test]
-    fn split_cache_matches_topology() {
+    fn repeated_lookups_share_one_allocation() {
         let topo = Topology::Crossbar { procs: 4 };
-        let mut cache = RouteCache::new(topo.clone());
-        let sr = cache.split(1, 3).clone();
-        let (mut e, mut i) = (Vec::new(), Vec::new());
-        topo.route_split_into(1, 3, &mut e, &mut i);
-        assert_eq!(&*sr.egress, e.as_slice());
-        assert_eq!(&*sr.ingress, i.as_slice());
-        let sr2 = cache.split(2, 2);
-        assert!(sr2.egress.is_empty() && sr2.ingress.is_empty());
+        let table = RouteTable::new();
+        let a = table.split(&topo, 1, 3);
+        let b = table.split(&topo, 1, 3);
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
-    fn self_path_is_empty() {
-        let mut cache = RouteCache::new(Topology::Crossbar { procs: 4 });
-        assert!(cache.path(2, 2).is_empty());
+    fn self_route_is_empty() {
+        let table = RouteTable::new();
+        let sr = table.split(&Topology::Crossbar { procs: 4 }, 2, 2);
+        assert!(sr.egress.is_empty() && sr.ingress.is_empty());
+    }
+
+    #[test]
+    fn concurrent_warmup_is_consistent() {
+        let topo = Topology::Torus3D { dims: [4, 4, 4] };
+        let table = Arc::new(RouteTable::new());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let table = Arc::clone(&table);
+                let topo = &topo;
+                s.spawn(move || {
+                    for src in 0..64 {
+                        let dst = (src + t + 1) % 64;
+                        let sr = table.split(topo, src, dst);
+                        assert_eq!(sr.full(), topo.route(src, dst));
+                    }
+                });
+            }
+        });
+        assert!(table.len() <= 64 * 8);
     }
 }

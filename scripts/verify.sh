@@ -34,4 +34,20 @@ cargo build --release --offline --workspace
 echo "== test (offline) =="
 cargo test -q --offline --workspace
 
+echo "== mpi wakeup/scheduler stress (release: realistic race timing) =="
+cargo test -q --offline --release -p beff-mpi --test stress
+
+echo "== perf baseline (quick sweeps, scratch output) =="
+scratch="target/BENCH_SIM.verify.json"
+cargo run -q --offline --release -p beff-bench --bin perf_baseline -- --quick --out "$scratch"
+
+echo "== BENCH_SIM.json gate =="
+# the committed full baseline must exist and parse, and so must the
+# freshly produced scratch run
+if [ ! -f BENCH_SIM.json ]; then
+    echo "FAIL: BENCH_SIM.json missing (run: cargo run --release -p beff-bench --bin perf_baseline)" >&2
+    exit 1
+fi
+cargo run -q --offline --release -p beff-bench --bin json_check -- BENCH_SIM.json "$scratch"
+
 echo "verify.sh: all checks passed"
