@@ -2,30 +2,72 @@
 //! and b_eff_io sweeps end-to-end (world launch included) and writes
 //! the machine-readable trajectory to `BENCH_SIM.json`.
 //!
-//! The recorded `seed_secs` constants are the same sweeps measured on
-//! the pre-optimization harness (per-rank route caches, broadcast
-//! mailbox wakeups, one world per run call) so every future run reports
-//! its speedup against a fixed, honest baseline.
+//! Every sweep is compared against its entry in [`SEED_BASELINES`] (the
+//! identical sweep measured on the pre-optimization harness); a sweep
+//! that regresses below 1.0x of the seed fails the run with a non-zero
+//! exit, which is how `scripts/verify.sh` catches performance
+//! regressions. The calibration residual gate's summary is embedded
+//! next to the sweeps (full report: `results/calibration.json`).
 //!
 //! Usage: `cargo run --release -p beff-bench --bin perf_baseline
 //!         [-- --out BENCH_SIM.json] [--quick]`
 //!
-//! `--quick` skips the 512-rank sweep (CI smoke mode); the JSON then
-//! carries only the sweeps actually run.
+//! `--quick` skips the 512-rank sweep and the calibration replay (CI
+//! smoke mode); the JSON then carries only the sweeps actually run.
 
+use beff_bench::calibration::{check, DEFAULT_TOLERANCE};
 use beff_bench::{beffio_cfg_quick_t, has_flag, run_beff_on, run_beffio_on};
 use beff_core::beff::BeffConfig;
-use beff_machines::by_key;
 use beff_json::{Json, ToJson};
+use beff_machines::by_key;
 use std::time::Instant;
 
-/// One timed sweep: a named closure plus the seed-harness seconds
-/// measured for the identical sweep before the fast-path work.
+/// Seed-harness wall seconds for one named sweep, with the provenance
+/// of the measurement. These are *fixed reference points*: they must
+/// never be re-measured on an optimized harness, or the speedup column
+/// silently loses its meaning.
+struct SeedBaseline {
+    name: &'static str,
+    /// Wall seconds on the reference container (1 CPU).
+    secs: f64,
+    /// Where the number comes from.
+    provenance: &'static str,
+}
+
+/// The seed harness: per-rank route caches, broadcast mailbox wakeups,
+/// p2p sim collectives, one OS thread per rank with futex token
+/// handoffs — measured immediately before the fast-path rework (see
+/// CHANGES.md, "Fast-path the simulated MPI world"), reference
+/// container, 1 CPU, median of 3 runs.
+const SEED_BASELINES: &[SeedBaseline] = &[
+    SeedBaseline {
+        name: "beff_t3e_64",
+        secs: 1.40,
+        provenance: "seed harness, quick b_eff schedule, t3e x64",
+    },
+    SeedBaseline {
+        name: "beff_t3e_512",
+        secs: 25.63,
+        provenance: "seed harness, quick b_eff schedule, t3e x512",
+    },
+    SeedBaseline {
+        name: "beffio_t3e_32",
+        secs: 2.50,
+        provenance: "seed harness, quick b_eff_io schedule T=2s, t3e x32",
+    },
+];
+
+fn seed_secs(name: &str) -> f64 {
+    SEED_BASELINES
+        .iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("sweep {name} has no seed baseline"))
+        .secs
+}
+
+/// One timed sweep: a named closure plus its seed baseline.
 struct Sweep {
     name: &'static str,
-    /// Wall seconds of the pre-optimization harness (recorded on the
-    /// reference container, 1 CPU; see module docs).
-    seed_secs: f64,
     heavy: bool,
     run: fn() -> f64,
 }
@@ -56,34 +98,11 @@ fn beffio_sweep(key: &str, procs: usize) -> f64 {
 
 fn sweeps() -> Vec<Sweep> {
     vec![
-        Sweep {
-            name: "beff_t3e_64",
-            seed_secs: SEED_BEFF_T3E_64,
-            heavy: false,
-            run: || beff_sweep("t3e", 64),
-        },
-        Sweep {
-            name: "beff_t3e_512",
-            seed_secs: SEED_BEFF_T3E_512,
-            heavy: true,
-            run: || beff_sweep("t3e", 512),
-        },
-        Sweep {
-            name: "beffio_t3e_32",
-            seed_secs: SEED_BEFFIO_T3E_32,
-            heavy: false,
-            run: || beffio_sweep("t3e", 32),
-        },
+        Sweep { name: "beff_t3e_64", heavy: false, run: || beff_sweep("t3e", 64) },
+        Sweep { name: "beff_t3e_512", heavy: true, run: || beff_sweep("t3e", 512) },
+        Sweep { name: "beffio_t3e_32", heavy: false, run: || beffio_sweep("t3e", 32) },
     ]
 }
-
-// Pre-optimization (seed) timings of the sweeps above, wall seconds,
-// measured on the reference container (1 CPU) with the seed harness:
-// per-rank route caches, broadcast mailbox wakeups, p2p sim
-// collectives, one OS thread per rank with futex token handoffs.
-const SEED_BEFF_T3E_64: f64 = 1.40;
-const SEED_BEFF_T3E_512: f64 = 25.63;
-const SEED_BEFFIO_T3E_32: f64 = 2.50;
 
 struct Record {
     name: &'static str,
@@ -91,18 +110,23 @@ struct Record {
     seed_secs: f64,
 }
 
-impl ToJson for Record {
-    fn to_json(&self) -> Json {
-        let speedup = if self.secs > 0.0 && self.seed_secs > 0.0 {
+impl Record {
+    fn speedup(&self) -> f64 {
+        if self.secs > 0.0 && self.seed_secs > 0.0 {
             self.seed_secs / self.secs
         } else {
             0.0
-        };
+        }
+    }
+}
+
+impl ToJson for Record {
+    fn to_json(&self) -> Json {
         Json::object()
             .field("name", self.name)
             .field("secs", &self.secs)
             .field("seed_secs", &self.seed_secs)
-            .field("speedup", &speedup)
+            .field("speedup", &self.speedup())
             .build()
     }
 }
@@ -128,23 +152,60 @@ fn main() {
             continue;
         }
         let secs = (s.run)();
+        let rec = Record { name: s.name, secs, seed_secs: seed_secs(s.name) };
         eprintln!(
             "{:<16} {:>8.2} s (seed {:>8.2} s, speedup {:.2}x)",
-            s.name,
-            secs,
-            s.seed_secs,
-            if secs > 0.0 { s.seed_secs / secs } else { 0.0 }
+            rec.name,
+            rec.secs,
+            rec.seed_secs,
+            rec.speedup()
         );
-        records.push(Record { name: s.name, secs, seed_secs: s.seed_secs });
+        records.push(rec);
     }
 
+    // Calibration residual gate (skipped in quick mode — verify.sh runs
+    // the standalone `calibrate -- --check` gate there instead).
+    let calibration = if quick {
+        Json::variant("skipped", Json::object().field("reason", "quick mode").build())
+    } else {
+        check(DEFAULT_TOLERANCE).summary()
+    };
+
+    let seeds: Vec<Json> = SEED_BASELINES
+        .iter()
+        .map(|b| {
+            Json::object()
+                .field("name", b.name)
+                .field("secs", &b.secs)
+                .field("provenance", b.provenance)
+                .build()
+        })
+        .collect();
+
     let doc = Json::object()
-        .field("schema", "beff-perf-baseline/1")
+        .field("schema", "beff-perf-baseline/2")
         .field("mode", if quick { "quick" } else { "full" })
+        .raw("seed_baselines", Json::array(seeds.iter()))
         .raw("sweeps", Json::array(records.iter()))
+        .raw("calibration", calibration)
         .build();
     let text = beff_json::to_string_pretty(&doc);
     beff_json::validate(&text).expect("perf baseline JSON must be well-formed");
     std::fs::write(&out_path, format!("{text}\n")).expect("write BENCH_SIM.json");
     println!("wrote {out_path}");
+
+    // Regression gate: any sweep slower than its seed baseline fails.
+    let regressed: Vec<&Record> = records.iter().filter(|r| r.speedup() < 1.0).collect();
+    if !regressed.is_empty() {
+        for r in &regressed {
+            eprintln!(
+                "PERF REGRESSION: {} took {:.2} s vs seed {:.2} s ({:.2}x)",
+                r.name,
+                r.secs,
+                r.seed_secs,
+                r.speedup()
+            );
+        }
+        std::process::exit(1);
+    }
 }

@@ -13,6 +13,8 @@
 //! of runtime) and default to a scaled-down schedule that preserves the
 //! shapes.
 
+pub mod calibration;
+
 use beff_core::beff::{run_beff, BeffConfig};
 use beff_core::beffio::{run_beff_io, BeffIoConfig, BeffIoResult};
 use beff_core::BeffResult;

@@ -36,6 +36,7 @@ pub fn ibm_sp() -> Machine {
             membus: Tier::new(0.5e-6, 1_000.0),
             nic: Tier::new(10.0e-6, 133.0),
             backplane: None,
+            contention: 1.0,
         },
         io: Some(PfsConfig {
             clients: 336,

@@ -28,8 +28,8 @@ pub fn t3e() -> Machine {
         rmax_mflops: 264_600.0,
         topology: Topology::Torus3D { dims: [8, 8, 8] },
         net: NetParams {
-            o_send: 3.5e-6,
-            o_recv: 3.5e-6,
+            o_send: 5.9e-6,
+            o_recv: 5.9e-6,
             self_mbps: 600.0,
             port: Tier::new(1.0e-6, 332.0),
             node_mem: Tier::new(0.2e-6, 428.0),
@@ -37,6 +37,11 @@ pub fn t3e() -> Machine {
             membus: Tier::new(0.0, 1e9), // unused on a torus
             nic: Tier::new(0.0, 1e9),
             backplane: None,
+            // Adaptive-routed torus under all-to-all random traffic
+            // loses well over half its link rate to arbitration; ring
+            // neighbors keep a hop to themselves, so rings are
+            // untouched (calibrated: beff 24..512-proc rows).
+            contention: 3.3,
         },
         io: Some(PfsConfig {
             clients: 512,

@@ -34,6 +34,7 @@ pub fn sx5() -> Machine {
             membus: Tier::new(0.0, 1e9),
             nic: Tier::new(0.0, 1e9),
             backplane: None,
+            contention: 1.0,
         },
         // NEC SFS: 4 striped RAID-3 arrays over fibre channel, 4 MB
         // cluster size and a famously large filesystem cache (§5.4:
@@ -75,7 +76,13 @@ pub fn sx4() -> Machine {
             hop: Tier::new(0.0, 1e9),
             membus: Tier::new(0.0, 1e9),
             nic: Tier::new(0.0, 1e9),
-            backplane: None,
+            // shared memory ports: the crossbar's aggregate saturates
+            // only near the full 16-proc partition (ring demand at
+            // L_max ~51 GB/s), which is what bends the paper's
+            // b_eff/proc column (656 -> 641 -> 604) down as the
+            // partition grows; 4- and 8-proc runs never reach it.
+            backplane: Some(Tier::new(0.0, 50_000.0)),
+            contention: 1.0,
         },
         io: None,
     }
@@ -91,8 +98,12 @@ pub fn sr2201() -> Machine {
         rmax_mflops: 16.0 * 220.0,
         topology: Topology::Crossbar { procs: 16 },
         net: NetParams {
-            o_send: 19.0e-6,
-            o_recv: 19.0e-6,
+            // MPI on the SR 2201 pays a long per-message software path;
+            // the large overhead (not the 250 MB/s port) is what holds
+            // b_eff/proc at the paper's 33 MB/s while the ring at L_max
+            // still streams at the memory-lane rate.
+            o_send: 85.0e-6,
+            o_recv: 85.0e-6,
             self_mbps: 500.0,
             port: Tier::new(4.0e-6, 250.0),
             node_mem: Tier::new(1.0e-6, 190.0),
@@ -100,6 +111,7 @@ pub fn sr2201() -> Machine {
             membus: Tier::new(0.0, 1e9),
             nic: Tier::new(0.0, 1e9),
             backplane: None,
+            contention: 1.0,
         },
         io: None,
     }
@@ -115,16 +127,19 @@ pub fn hpv() -> Machine {
         rmax_mflops: 7.0 * 480.0,
         topology: Topology::Crossbar { procs: 7 },
         net: NetParams {
-            o_send: 6.0e-6,
-            o_recv: 6.0e-6,
+            o_send: 18.0e-6,
+            o_recv: 18.0e-6,
             self_mbps: 900.0,
             port: Tier::new(3.0e-6, 600.0),
             node_mem: Tier::new(0.5e-6, 500.0),
             hop: Tier::new(0.0, 1e9),
             membus: Tier::new(0.0, 1e9),
             nic: Tier::new(0.0, 1e9),
-            // the shared memory system tops out before 7 ports do
+            // the shared memory system tops out before 7 ports do, and
+            // bus arbitration under 7 contending processors costs a
+            // further ~20 % of the raw rate (fair-share factor)
             backplane: Some(Tier::new(0.0, 1_300.0)),
+            contention: 1.24,
         },
         io: None,
     }
@@ -140,8 +155,8 @@ pub fn sv1() -> Machine {
         rmax_mflops: 15.0 * 700.0,
         topology: Topology::Crossbar { procs: 15 },
         net: NetParams {
-            o_send: 6.0e-6,
-            o_recv: 6.0e-6,
+            o_send: 39.0e-6,
+            o_recv: 39.0e-6,
             self_mbps: 2_400.0,
             port: Tier::new(2.0e-6, 1_000.0),
             node_mem: Tier::new(0.3e-6, 1_150.0),
@@ -149,8 +164,10 @@ pub fn sv1() -> Machine {
             membus: Tier::new(0.0, 1e9),
             nic: Tier::new(0.0, 1e9),
             // ping-pong streams at ~1 GB/s, but 15 concurrent pairs
-            // saturate the memory subsystem at ~5.6 GB/s
-            backplane: Some(Tier::new(0.0, 17_000.0)),
+            // saturate the shared memory subsystem at ~4.8 GB/s — a
+            // lone stream never queues on it, so ping-pong is untouched
+            backplane: Some(Tier::new(0.0, 4_850.0)),
+            contention: 1.0,
         },
         io: None,
     }

@@ -19,10 +19,18 @@ pub struct Link {
 
 impl Link {
     pub fn new(latency: Secs, byte_time: Secs) -> Self {
+        Self::with_contention(latency, byte_time, 1.0)
+    }
+
+    /// A link in fair-share contention mode: a message that has to
+    /// queue behind pending traffic occupies `factor` times its serial
+    /// byte time (see [`Resource::with_contention`]). `1.0` is plain
+    /// FIFO packing.
+    pub fn with_contention(latency: Secs, byte_time: Secs, factor: f64) -> Self {
         Self {
             latency,
             byte_time,
-            res: Resource::new(),
+            res: Resource::with_contention(factor),
             bytes: AtomicU64::new(0),
             messages: AtomicU64::new(0),
         }
@@ -32,14 +40,15 @@ impl Link {
     /// entrance at `head`. Returns `(start, finish)` of the occupancy —
     /// `start` is when the stream begins flowing on this link (so a
     /// downstream link may begin then), `finish` is when the last byte
-    /// has crossed.
+    /// has crossed (queued messages on a contended link finish at the
+    /// fair-share-degraded rate).
     #[inline]
     pub fn traverse(&self, head: Secs, bytes: u64) -> (Secs, Secs) {
         let occ = bytes as f64 * self.byte_time;
-        let start = self.res.reserve(head + self.latency, occ);
+        let span = self.res.reserve_span(head + self.latency, occ);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.messages.fetch_add(1, Ordering::Relaxed);
-        (start, start + occ)
+        span
     }
 
     /// Next-free time (diagnostics / tests).
@@ -93,6 +102,17 @@ mod tests {
         let (s, f) = l.traverse(1.0, 0);
         assert_eq!(s, 1.0 + 5e-6);
         assert_eq!(s, f);
+    }
+
+    #[test]
+    fn contended_link_messages_pay_the_fair_share_factor() {
+        let l = Link::with_contention(0.0, 1e-6, 2.0); // 1 MB/s, factor 2
+        let (_, f1) = l.traverse(0.0, 100);
+        let (s2, f2) = l.traverse(0.0, 100);
+        assert!((f1 - 1e-4).abs() < 1e-12);
+        assert!((s2 - 1e-4).abs() < 1e-12);
+        // queued message pays 2x its serial occupancy
+        assert!((f2 - 3e-4).abs() < 1e-12);
     }
 
     #[test]

@@ -11,36 +11,95 @@
 //! interleaving, which is a pure function of the program's own
 //! communication structure — so contended results are bit-identical
 //! across runs (DESIGN.md §3, *Simulator execution model*).
+//!
+//! ## Fair-share contention mode
+//!
+//! Plain next-free-time booking packs queued reservations back-to-back:
+//! K overlapping streams deliver the resource's full aggregate rate.
+//! Real shared wires do not — arbitration, packet framing and
+//! fair-share scheduling cost throughput once independent agents
+//! contend. [`Resource::with_contention`] models that: a reservation
+//! that arrives while the resource is still busy (it had to queue) is
+//! billed `duration * factor` instead of `duration`, so K simultaneous
+//! streams serialize at `rate / factor` while a lone stream still sees
+//! the full rate. The factor is a per-machine calibration constant
+//! ([`crate::model::NetParams::contention`]); `1.0` reproduces plain
+//! FIFO packing bit-for-bit.
+//!
+//! The scheme is work-conserving (the resource never idles while work
+//! is queued) and, for a batch of equal-length requests wanting the
+//! same start time, order-independent: the booked finish times are the
+//! same multiset regardless of the order the scheduler books them in.
 
 use crate::units::Secs;
 use beff_sync::Mutex;
 
 /// A serially-reusable resource with a next-free-time.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Resource {
     next_free: Mutex<Secs>,
+    /// Occupancy multiplier applied to reservations that had to queue
+    /// (fair-share contention mode); 1.0 = ideal FIFO packing.
+    contention: f64,
+}
+
+impl Default for Resource {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Resource {
     pub fn new() -> Self {
-        Self { next_free: Mutex::new(0.0) }
+        Self::with_contention(1.0)
+    }
+
+    /// A resource in fair-share contention mode: reservations that
+    /// arrive while the resource is busy occupy `duration * factor`.
+    /// `factor` must be finite and ≥ 1.0; `1.0` is byte-identical to
+    /// [`Resource::new`].
+    pub fn with_contention(factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "contention factor must be finite and >= 1.0, got {factor}"
+        );
+        Self { next_free: Mutex::new(0.0), contention: factor }
+    }
+
+    /// The configured contention factor.
+    pub fn contention(&self) -> f64 {
+        self.contention
     }
 
     /// Reserve the resource for `duration` seconds, starting no earlier
     /// than `earliest`. Returns the actual start time.
     pub fn reserve(&self, earliest: Secs, duration: Secs) -> Secs {
+        self.reserve_span(earliest, duration).0
+    }
+
+    /// Like [`reserve`](Self::reserve) but returns `(start, finish)` of
+    /// the booked occupancy. In fair-share mode a queued reservation's
+    /// finish is `start + duration * factor`, so callers that need the
+    /// real finish time must use this (or
+    /// [`reserve_finish`](Self::reserve_finish)) rather than adding
+    /// `duration` themselves.
+    pub fn reserve_span(&self, earliest: Secs, duration: Secs) -> (Secs, Secs) {
         debug_assert!(duration >= 0.0, "negative duration {duration}");
         let mut nf = self.next_free.lock();
         let start = earliest.max(*nf);
-        *nf = start + duration;
-        start
+        // Queued behind pending work ⇒ contended ⇒ fair-share billing.
+        let occupancy =
+            if *nf > earliest { duration * self.contention } else { duration };
+        let finish = start + occupancy;
+        *nf = finish;
+        (start, finish)
     }
 
     /// Like [`reserve`](Self::reserve) but returns the *finish* time,
     /// which is what most cost computations want.
     #[inline]
     pub fn reserve_finish(&self, earliest: Secs, duration: Secs) -> Secs {
-        self.reserve(earliest, duration) + duration
+        self.reserve_span(earliest, duration).1
     }
 
     /// Current next-free time (for drain/sync style queries).
@@ -97,6 +156,62 @@ mod tests {
         r.reserve(0.0, 10.0);
         r.reset();
         assert_eq!(r.horizon(), 0.0);
+    }
+
+    #[test]
+    fn contended_reservations_inflate_by_the_factor() {
+        let r = Resource::with_contention(2.0);
+        // First stream: uncontended, full rate.
+        assert_eq!(r.reserve_span(0.0, 1.0), (0.0, 1.0));
+        // Second stream wanted t=0 but had to queue: pays 2x.
+        assert_eq!(r.reserve_span(0.0, 1.0), (1.0, 3.0));
+        assert_eq!(r.reserve_span(0.0, 1.0), (3.0, 5.0));
+        // A later arrival on an idle resource is uncontended again.
+        assert_eq!(r.reserve_span(10.0, 1.0), (10.0, 11.0));
+    }
+
+    #[test]
+    fn arrival_exactly_at_horizon_is_uncontended() {
+        // No queueing happened: the stream arrived as the wire went
+        // idle, so fair-share billing does not apply.
+        let r = Resource::with_contention(3.0);
+        r.reserve(0.0, 1.0);
+        assert_eq!(r.reserve_span(1.0, 1.0), (1.0, 2.0));
+    }
+
+    #[test]
+    fn factor_one_is_bitwise_identical_to_plain_fifo() {
+        // The contention-factor=1.0 path must reproduce the plain
+        // next-free-time arithmetic bit-for-bit: this is what keeps the
+        // golden results byte-identical after the fair-share change.
+        let plain = Resource::new();
+        let faired = Resource::with_contention(1.0);
+        let mut reference_nf: f64 = 0.0;
+        let reqs: [(f64, f64); 6] = [
+            (0.0, 1.5),
+            (0.3, 0.7),
+            (10.0, 1e-6),
+            (9.999999, 3.25),
+            (11.0, 0.0),
+            (0.1, 123.456),
+        ];
+        for &(earliest, dur) in &reqs {
+            // Reference: the pre-fair-share implementation.
+            let ref_start = earliest.max(reference_nf);
+            reference_nf = ref_start + dur;
+            let (ps, pf) = plain.reserve_span(earliest, dur);
+            let (fs, ff) = faired.reserve_span(earliest, dur);
+            assert_eq!(ps.to_bits(), ref_start.to_bits());
+            assert_eq!(pf.to_bits(), reference_nf.to_bits());
+            assert_eq!(fs.to_bits(), ref_start.to_bits());
+            assert_eq!(ff.to_bits(), reference_nf.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contention factor")]
+    fn sub_unity_factor_rejected() {
+        Resource::with_contention(0.5);
     }
 
     #[test]

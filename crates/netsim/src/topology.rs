@@ -60,6 +60,22 @@ pub enum LinkKind {
     NicIn,
 }
 
+impl LinkKind {
+    /// Whether the link is shared by *independent* agents (distinct
+    /// ranks or nodes) rather than owned by a single rank. Fair-share
+    /// contention billing ([`crate::model::NetParams::contention`])
+    /// applies only to shared kinds: a lone rank streaming back-to-back
+    /// through its own port pays no arbitration overhead, but torus
+    /// hops, SMP node buses and NICs carry traffic from many agents and
+    /// do.
+    pub fn is_shared(self) -> bool {
+        match self {
+            LinkKind::Hop | LinkKind::MemBus | LinkKind::NicOut | LinkKind::NicIn => true,
+            LinkKind::PortOut | LinkKind::PortIn | LinkKind::NodeMem => false,
+        }
+    }
+}
+
 /// Network shape. See module docs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Topology {

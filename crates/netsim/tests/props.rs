@@ -63,6 +63,75 @@ fn resource_reservations_never_overlap() {
 }
 
 #[test]
+fn fair_share_is_work_conserving_and_order_independent() {
+    check("fair share is work conserving and order independent", |g| {
+        // K reservations contending for the same window: booked in an
+        // arbitrary order, they must (a) keep the resource busy with no
+        // idle gap (work conservation) and (b) produce the same booked
+        // finish times regardless of booking order.
+        let k = g.usize(2..=12);
+        let factor = g.f64(1.0, 4.0);
+        let earliest = g.f64(0.0, 50.0);
+        let dur = g.f64(0.001, 5.0);
+        let finishes = |order: &[usize]| -> Vec<f64> {
+            let r = Resource::with_contention(factor);
+            let mut f = vec![0.0; order.len()];
+            for &i in order {
+                f[i] = r.reserve_finish(earliest, dur);
+            }
+            f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            f
+        };
+        let forward: Vec<usize> = (0..k).collect();
+        let mut shuffled = forward.clone();
+        // deterministic Fisher-Yates from generated indices
+        for i in (1..k).rev() {
+            shuffled.swap(i, g.usize(0..=i));
+        }
+        let a = finishes(&forward);
+        let b = finishes(&shuffled);
+        for (x, y) in a.iter().zip(b.iter()) {
+            ensure_eq!(x.to_bits(), y.to_bits(), "finish times differ across orders");
+        }
+        // Work conservation: the first finishes after one serial
+        // duration, every later one exactly one fair-share slot after
+        // its predecessor — no idle gap anywhere in the busy span.
+        ensure!((a[0] - (earliest + dur)).abs() <= 1e-9 * a[0].max(1.0));
+        for w in a.windows(2) {
+            ensure!((w[1] - w[0] - dur * factor).abs() <= 1e-9 * w[1].max(1.0));
+        }
+        // Total booked time equals total billed work: serial first
+        // stream + (k-1) fair-share streams.
+        let span = a[k - 1] - earliest;
+        let billed = dur + (k - 1) as f64 * dur * factor;
+        ensure!((span - billed).abs() <= 1e-9 * billed.max(1.0));
+    });
+}
+
+#[test]
+fn fair_share_factor_one_matches_plain_fifo_bitwise() {
+    check("fair share factor one matches plain fifo bitwise", |g| {
+        // contention factor 1.0 must be indistinguishable from the
+        // pre-fair-share resource on ANY reservation sequence — this is
+        // the invariant that keeps the golden results byte-identical.
+        let requests = g.vec(1..=49, |g| (g.f64(0.0, 100.0), g.f64(0.0, 5.0)));
+        let plain = Resource::new();
+        let faired = Resource::with_contention(1.0);
+        let mut reference_nf: f64 = 0.0;
+        for &(earliest, dur) in &requests {
+            let ref_start = earliest.max(reference_nf);
+            reference_nf = ref_start + dur;
+            let (ps, pf) = plain.reserve_span(earliest, dur);
+            let (fs, ff) = faired.reserve_span(earliest, dur);
+            ensure_eq!(ps.to_bits(), ref_start.to_bits());
+            ensure_eq!(fs.to_bits(), ref_start.to_bits());
+            ensure_eq!(pf.to_bits(), reference_nf.to_bits());
+            ensure_eq!(ff.to_bits(), reference_nf.to_bits());
+        }
+    });
+}
+
+#[test]
 fn vclock_is_monotone() {
     check("vclock is monotone", |g| {
         let ops = g.vec(1..=99, |g| (g.bool(), g.f64(0.0, 10.0)));

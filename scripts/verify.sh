@@ -37,6 +37,11 @@ cargo test -q --offline --workspace
 echo "== mpi wakeup/scheduler stress (release: realistic race timing) =="
 cargo test -q --offline --release -p beff-mpi --test stress
 
+echo "== calibration residual gate (no refit) =="
+# every gated Table-1 metric must sit within the tolerance of the
+# paper value on the committed machine constants; shape claims exact
+cargo run -q --offline --release -p beff-bench --bin calibrate -- --check --out target/calibration.verify.json
+
 echo "== perf baseline (quick sweeps, scratch output) =="
 scratch="target/BENCH_SIM.verify.json"
 cargo run -q --offline --release -p beff-bench --bin perf_baseline -- --quick --out "$scratch"
