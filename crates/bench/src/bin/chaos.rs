@@ -1,0 +1,86 @@
+//! The chaos sweep binary: run the fixed fault-scenario matrix through
+//! the resilient driver and write the stability/harness report.
+//!
+//! Usage:
+//!   `chaos [--seed N] [--out results/chaos.json] [--strict]`
+//!
+//! * the fault seed defaults to `0xC4A05` and is overridable by
+//!   `--seed` or the `BEFF_FAULT_SEED` environment variable (the same
+//!   replay knob every fault plan honors);
+//! * exit is non-zero when a **harness invariant** breaks (a scenario
+//!   hangs — impossible by construction, but this is where it would
+//!   surface — replay is not byte-identical, a severity family is not
+//!   monotone, the crash report is missing its dead rank, or degraded
+//!   I/O isn't slower). Injected faults *degrading the benchmark* is
+//!   the expected product, not an error — `--strict` additionally
+//!   fails the run when any scenario lost its b_eff number entirely.
+
+use beff_bench::chaos::run_chaos;
+use beff_bench::has_flag;
+use beff_faults::resolve_seed;
+
+/// Default chaos seed ("CHAOS"), pre-`BEFF_FAULT_SEED`.
+const DEFAULT_SEED: u64 = 0xC4A05;
+
+fn arg_after(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let seed = match arg_after("--seed") {
+        Some(s) => s.parse().expect("--seed N (decimal)"),
+        None => resolve_seed(DEFAULT_SEED),
+    };
+    let out = arg_after("--out").unwrap_or_else(|| "results/chaos.json".to_string());
+
+    let report = run_chaos(seed);
+
+    for s in &report.scenarios {
+        let st = &s.report.stability;
+        println!(
+            "{:<16} beff {:>10} MB/s  {:>2} valid {:>2} degraded {:>2} failed  replay {}",
+            s.name,
+            s.beff().map_or_else(|| "-".to_string(), |b| format!("{b:.1}")),
+            st.valid,
+            st.degraded,
+            st.failed,
+            if s.replay_identical { "ok" } else { "DIVERGED" },
+        );
+    }
+    for f in &report.families {
+        println!(
+            "family {:<10} {} : {:?}",
+            f.family,
+            if f.monotone { "monotone" } else { "NOT MONOTONE" },
+            f.beffs.iter().map(|b| (b * 10.0).round() / 10.0).collect::<Vec<_>>(),
+        );
+    }
+    println!(
+        "io degrade: healthy {:.3e}s degraded {:.3e}s ({})",
+        report.io.t_healthy,
+        report.io.t_degraded,
+        if report.io.ok { "ok" } else { "NOT SLOWER" },
+    );
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out, beff_json::to_string_pretty(&report)).expect("write chaos report");
+    println!("chaos report ({} scenarios, seed {seed:#x}) -> {out}", report.scenarios.len());
+
+    if !report.pass() {
+        eprintln!("chaos: HARNESS INVARIANT VIOLATED");
+        std::process::exit(1);
+    }
+    if has_flag("--strict") && !report.strict_ok() {
+        eprintln!("chaos: --strict: some scenario lost its b_eff number");
+        std::process::exit(2);
+    }
+    println!("chaos: pass");
+}

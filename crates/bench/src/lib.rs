@@ -14,6 +14,8 @@
 //! shapes.
 
 pub mod calibration;
+pub mod chaos;
+pub mod resilient;
 
 use beff_core::beff::{run_beff, BeffConfig};
 use beff_core::beffio::{run_beff_io, BeffIoConfig, BeffIoResult};

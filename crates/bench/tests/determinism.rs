@@ -10,9 +10,12 @@
 //! mean bitwise-equal numbers.
 
 use beff_bench::{run_beff_on, run_beffio_on, PartitionRunner};
-use beff_core::beff::BeffConfig;
+use beff_core::beff::{run_beff, BeffConfig};
 use beff_core::beffio::BeffIoConfig;
+use beff_faults::{FaultPlan, FaultSession};
 use beff_machines::by_key;
+use beff_mpi::World;
+use std::sync::Arc;
 
 /// The table1 kernel at reduced scale: full pattern schedule, small
 /// partition.
@@ -30,6 +33,33 @@ fn table1_rows_are_byte_identical_across_runs_and_world_reuse() {
     let reused_b = beff_json::to_string(&runner.beff(&cfg));
     assert_eq!(reused_a, reused_b, "world reuse must agree bitwise");
     assert_eq!(fresh_a, reused_a, "reuse must match a fresh world bitwise");
+}
+
+/// The fault layer's no-fault guarantee, pinned bitwise: a world with
+/// an *empty* fault session attached must produce byte-identical
+/// results to one with no session at all. Every fault hook guards
+/// behind the session option before touching timing arithmetic, and
+/// the empty plan's multipliers are exactly 1.0 (IEEE: `x * 1.0 == x`),
+/// so the instrumented paths cannot perturb a single bit.
+#[test]
+fn empty_fault_session_is_bitwise_inert() {
+    let machine = by_key("t3e").expect("machine").sized_for(8);
+    let cfg = BeffConfig::quick(machine.mem_per_proc);
+
+    let plain = {
+        let cfg = cfg.clone();
+        let mut rs =
+            World::sim_partition(machine.network(), 8).run(move |c| run_beff(c, &cfg));
+        beff_json::to_string(&rs.swap_remove(0))
+    };
+    let with_empty_session = {
+        let session = FaultSession::new(FaultPlan::empty(), 8);
+        let net = machine.network();
+        let world = World::sim_partition(Arc::clone(&net), 8).with_faults(session);
+        let mut rs = world.run(move |c| run_beff(c, &cfg));
+        beff_json::to_string(&rs.swap_remove(0))
+    };
+    assert_eq!(plain, with_empty_session, "fault layer must be inert without a plan");
 }
 
 /// The table2/fig5 kernel (b_eff_io patterns) under world reuse: the

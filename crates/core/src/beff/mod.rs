@@ -16,6 +16,7 @@
 pub mod extra;
 pub mod measure;
 pub mod methods;
+pub mod resilient;
 pub mod result;
 pub mod rings;
 pub mod run;
@@ -23,6 +24,10 @@ pub mod sizes;
 
 pub use measure::MeasureSchedule;
 pub use methods::{Method, Transfers, METHODS};
+pub use resilient::{
+    run_one_pattern, PatternAttempt, PatternHealth, PatternStatus, ResilientBeffResult,
+    StabilityReport, WatchdogPolicy,
+};
 pub use result::{BeffResult, ExtraResult, PatternResult};
 pub use rings::{random_patterns, ring_patterns, ring_sizes, ring_targets, Pattern};
 pub use run::{run_beff, BeffConfig};

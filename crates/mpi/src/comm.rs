@@ -29,13 +29,70 @@ use crate::mailbox::{Mailbox, Match, PushOutcome};
 use crate::message::{Envelope, Payload, RecvInfo, Tag, COLLECTIVE_BASE};
 use crate::sched::SimScheduler;
 use crate::wire;
-use beff_netsim::Secs;
+use beff_faults::{BeffError, FaultSession};
+use beff_netsim::{MachineNet, Secs};
 use beff_sync::Mutex;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Wire-level fault prologue for a simulated send: dead routes and
+/// transient drops, with bounded exponential-backoff retransmission.
+///
+/// A dropped copy is not free — it occupies the sender's egress wires
+/// (the lost bytes really flowed) and then the sender waits out the
+/// retransmission timeout (`rto * 2^attempt`) before trying again. A
+/// permanently dead link on the route can never succeed: after the
+/// retransmit budget the sender raises [`BeffError::LinkDead`];
+/// transient-drop exhaustion raises [`BeffError::RetransmitExhausted`].
+/// Drop decisions hash (seed, src, dst, seq, attempt) — no shared RNG,
+/// so the schedule is independent of rank interleaving and replays
+/// bit-identically.
+fn wire_fault_delay(
+    st: &mut RankState,
+    net: &Arc<MachineNet>,
+    fs: &Arc<FaultSession>,
+    wsrc: usize,
+    wdst: usize,
+    bytes: u64,
+) {
+    let plan = fs.plan();
+    let sr = net.split_route(wsrc, wdst);
+    let links = net.links();
+    let route_dead = sr
+        .egress
+        .iter()
+        .chain(sr.ingress.iter())
+        .any(|&l| links[l].is_dead());
+    let max = plan.max_retransmits();
+    let rto = plan.rto();
+    let seq = fs.next_seq(wsrc);
+    let mut attempt: u32 = 0;
+    loop {
+        if route_dead {
+            fs.note_drop();
+            if attempt >= max {
+                BeffError::LinkDead { src: wsrc, dst: wdst, attempts: attempt + 1 }.raise();
+            }
+        } else if plan.should_drop(wsrc, wdst, seq, attempt) {
+            fs.note_drop();
+            if attempt >= max {
+                BeffError::RetransmitExhausted { src: wsrc, dst: wdst, attempts: attempt + 1 }
+                    .raise();
+            }
+            // The lost copy still crossed the sender's egress wires.
+            let eg = net.price_egress(&sr.egress, bytes, st.clock.now());
+            st.clock.advance_to(eg.injected);
+        } else {
+            return;
+        }
+        st.clock.advance(rto * (1u64 << attempt.min(16)) as f64);
+        fs.note_retransmit();
+        attempt += 1;
+    }
+}
 
 /// Rendezvous state for one in-flight simulated collective (one board
 /// per `(ctx, tag)`). Under the token scheduler exactly one rank runs
@@ -177,8 +234,15 @@ impl Comm {
     }
 
     /// Model local computation taking `dt` seconds (no-op in real mode,
-    /// where computation takes its own time).
+    /// where computation takes its own time). A straggler rank's
+    /// computation is stretched by its fault-plan multiplier.
     pub fn compute(&mut self, dt: Secs) {
+        let dt = match &self.shared.engine {
+            EngineCfg::Sim { faults: Some(fs), .. } => {
+                dt * fs.plan().compute_mult(self.world_rank())
+            }
+            _ => dt,
+        };
         self.state.borrow_mut().clock.advance(dt);
     }
 
@@ -226,6 +290,12 @@ impl Comm {
     /// blocked so another rank can make progress deterministically.
     fn blocking_recv(&self, m: Match) -> Envelope {
         let wr = self.world_rank();
+        if let EngineCfg::Sim { faults: Some(fs), .. } = &self.shared.engine {
+            let now = self.state.borrow().clock.now();
+            if let Some(err) = fs.crash_check(wr, now) {
+                err.raise();
+            }
+        }
         let mb = &self.shared.mailboxes[wr];
         let Some(sched) = &self.shared.sched else {
             return mb.recv(m);
@@ -235,7 +305,7 @@ impl Comm {
                 return env;
             }
             if mb.is_poisoned() {
-                panic!("world aborted: a peer rank panicked");
+                BeffError::PeerFailed.raise();
             }
             let ticket = mb.post(m);
             sched.yield_blocked(wr);
@@ -254,13 +324,33 @@ impl Comm {
                 self.deliver(dst, tag, 0.0, 0.0, payload);
                 0.0
             }
-            EngineCfg::Sim { net, .. } => {
+            EngineCfg::Sim { net, faults, .. } => {
                 let (injected, head, finish) = {
                     let mut st = self.state.borrow_mut();
-                    st.clock.advance(net.params().o_send);
-                    let t0 = st.clock.now();
                     let wsrc = self.ranks[self.rank];
                     let wdst = self.ranks[dst];
+                    match faults {
+                        None => st.clock.advance(net.params().o_send),
+                        Some(fs) => {
+                            if let Some(err) = fs.crash_check(wsrc, st.clock.now()) {
+                                drop(st);
+                                err.raise();
+                            }
+                            st.clock
+                                .advance(net.params().o_send * fs.plan().overhead_mult(wsrc));
+                            if fs.plan().has_wire_faults() {
+                                wire_fault_delay(
+                                    &mut st,
+                                    net,
+                                    fs,
+                                    wsrc,
+                                    wdst,
+                                    payload.len(),
+                                );
+                            }
+                        }
+                    }
+                    let t0 = st.clock.now();
                     let sr = net.split_route(wsrc, wdst);
                     let eg = net.price_egress(&sr.egress, payload.len(), t0);
                     (eg.injected, eg.head, eg.finish)
@@ -331,7 +421,7 @@ impl Comm {
     /// Apply receive timing: drain the message through the receiver's
     /// ingress resources (its node memory + port-in), then pay o_recv.
     fn apply_recv_time(&mut self, env: &Envelope) {
-        if let EngineCfg::Sim { net, .. } = &self.shared.engine {
+        if let EngineCfg::Sim { net, faults, .. } = &self.shared.engine {
             let mut st = self.state.borrow_mut();
             let wsrc = self.ranks[env.src];
             let wdst = self.ranks[self.rank];
@@ -339,7 +429,12 @@ impl Comm {
             let done =
                 net.price_ingress(&sr.ingress, env.payload.len(), env.head, env.arrival);
             st.clock.advance_to(done);
-            st.clock.advance(net.params().o_recv);
+            match faults {
+                None => st.clock.advance(net.params().o_recv),
+                Some(fs) => st
+                    .clock
+                    .advance(net.params().o_recv * fs.plan().overhead_mult(wdst)),
+            }
         }
     }
 
@@ -525,7 +620,7 @@ impl Comm {
                     break done;
                 }
                 if shared.mailboxes[wr].is_poisoned() {
-                    panic!("world aborted: a peer rank panicked");
+                    BeffError::PeerFailed.raise();
                 }
             }
         };

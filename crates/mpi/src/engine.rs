@@ -8,6 +8,7 @@
 //!    [`beff_netsim::MachineNet`] price in sim mode),
 //! 3. whether benchmark payloads are materialized (`copy_data`).
 
+use beff_faults::FaultSession;
 use beff_netsim::{Clock, MachineNet, RealClock, Secs, VClock};
 use std::sync::Arc;
 
@@ -22,6 +23,10 @@ pub enum EngineCfg {
         /// Materialize benchmark payload bytes (tests: `true`;
         /// large-machine benchmarking: `false`).
         copy_data: bool,
+        /// Active fault injection, if any. `None` keeps every hot path
+        /// byte-identical to the fault-free build (the hooks guard on
+        /// this `Option` before touching any arithmetic).
+        faults: Option<Arc<FaultSession>>,
     },
 }
 
@@ -119,7 +124,7 @@ mod tests {
             Topology::Crossbar { procs: 2 },
             NetParams { o_send: 1e-6, o_recv: 2e-6, ..NetParams::default() },
         ));
-        let e = EngineCfg::Sim { net, copy_data: true };
+        let e = EngineCfg::Sim { net, copy_data: true, faults: None };
         assert_eq!(e.o_send(), 1e-6);
         assert_eq!(e.o_recv(), 2e-6);
         assert!(e.is_sim());
@@ -143,7 +148,7 @@ mod tests {
             Topology::Crossbar { procs: 2 },
             NetParams::default(),
         ));
-        let sim = RankState::new(&EngineCfg::Sim { net, copy_data: false });
+        let sim = RankState::new(&EngineCfg::Sim { net, copy_data: false, faults: None });
         assert!(sim.clock.is_virtual());
     }
 }

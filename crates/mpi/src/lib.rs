@@ -42,9 +42,11 @@ pub mod sched;
 pub mod topology;
 pub mod wire;
 
+pub use beff_faults::{BeffError, FaultSession};
 pub use collectives::ReduceOp;
 pub use comm::{Comm, RecvReq, SendReq};
 pub use engine::EngineCfg;
 pub use message::{Payload, RecvInfo, Tag};
 pub use runtime::{World, WorldSession};
+pub use sched::{SchedAudit, SimScheduler};
 pub use topology::{dims_create, CartGrid};

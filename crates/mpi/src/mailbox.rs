@@ -140,7 +140,9 @@ impl Mailbox {
     }
 
     fn panic_poisoned() -> ! {
-        panic!("world aborted: a peer rank panicked")
+        // Typed so `World::try_run` can report "a peer died" as a value
+        // instead of tearing the driver down.
+        beff_faults::BeffError::PeerFailed.raise()
     }
 
     /// Blocking receive of the first envelope matching `m` (unexpected

@@ -20,6 +20,7 @@ use crate::comm::{Comm, WorldShared};
 use crate::engine::EngineCfg;
 #[cfg(target_arch = "x86_64")]
 use crate::fiber::{init_fiber, FiberStack, STACK_SIZE};
+use beff_faults::{BeffError, FaultSession};
 use beff_netsim::MachineNet;
 use beff_sync::{channel, Condvar, Mutex};
 use std::any::Any;
@@ -48,6 +49,9 @@ fn run_rank<R>(
             }
             if let Some(s) = &shared.sched {
                 s.abort();
+                // abort() granted this rank its own wakeup token; we
+                // are unwinding and will never park for it.
+                s.drain_grant(rank);
             }
         }
         Ok(_) => {
@@ -59,13 +63,70 @@ fn run_rank<R>(
     out
 }
 
+/// Collapse per-rank outcomes (in rank order) into all results or the
+/// run's *root cause*. When one rank raises a typed fault, the peers
+/// that were blocked on it unwind with the secondary
+/// [`BeffError::PeerFailed`]; reporting that cascade instead of the
+/// fault would hide what actually happened, so a typed non-`PeerFailed`
+/// payload wins over a `PeerFailed` one. String panics (true invariant
+/// violations) always keep their first-in-rank-order payload.
+fn settle<R>(
+    slots: impl IntoIterator<Item = Result<R, Box<dyn Any + Send>>>,
+) -> Result<Vec<R>, Box<dyn Any + Send>> {
+    let mut out = Vec::new();
+    let mut cause: Option<Box<dyn Any + Send>> = None;
+    for slot in slots {
+        match slot {
+            Ok(r) => out.push(r),
+            Err(p) => {
+                let upgrade = match &cause {
+                    None => true,
+                    Some(prev) => {
+                        matches!(
+                            prev.downcast_ref::<BeffError>(),
+                            Some(BeffError::PeerFailed)
+                        ) && matches!(
+                            p.downcast_ref::<BeffError>(),
+                            Some(e) if *e != BeffError::PeerFailed
+                        )
+                    }
+                };
+                if upgrade {
+                    cause = Some(p);
+                }
+            }
+        }
+    }
+    match cause {
+        Some(p) => Err(p),
+        None => Ok(out),
+    }
+}
+
+/// Downcast a settled panic payload into a typed error, or re-raise it
+/// (invariant violations stay fatal).
+fn into_typed<R>(settled: Result<Vec<R>, Box<dyn Any + Send>>) -> Result<Vec<R>, BeffError> {
+    match settled {
+        Ok(v) => Ok(v),
+        Err(p) => match p.downcast::<BeffError>() {
+            Ok(e) => Err(*e),
+            Err(p) => resume_unwind(p),
+        },
+    }
+}
+
 /// Run a simulated world on the calling thread with one fiber per rank
 /// (the fast path: a token handoff is a user-space stack switch instead
 /// of a futex round trip — see [`crate::fiber`]). Semantics are
 /// identical to the thread launcher: same FIFO token order, same
 /// deadlock/abort protocol, bit-identical results.
 #[cfg(target_arch = "x86_64")]
-fn run_world_fibers<R, F>(n: usize, engine: &EngineCfg, stacks: &[FiberStack], f: &F) -> Vec<R>
+fn run_world_fibers<R, F>(
+    n: usize,
+    engine: &EngineCfg,
+    stacks: &[FiberStack],
+    f: &F,
+) -> Result<Vec<R>, Box<dyn Any + Send>>
 where
     R: Send,
     F: Fn(&mut Comm) -> R + Sync,
@@ -95,22 +156,9 @@ where
     for st in stacks {
         assert!(st.canary_intact(), "fiber stack overflow (canary clobbered)");
     }
-    let mut out = Vec::with_capacity(n);
-    let mut first_panic = None;
-    for slot in results {
-        match slot.expect("all fibers completed") {
-            Ok(r) => out.push(r),
-            Err(p) => {
-                if first_panic.is_none() {
-                    first_panic = Some(p);
-                }
-            }
-        }
-    }
-    if let Some(p) = first_panic {
-        resume_unwind(p);
-    }
-    out
+    let audit = sched.audit();
+    assert!(audit.balanced(), "token leak after world join: {audit:?}");
+    settle(results.into_iter().map(|slot| slot.expect("all fibers completed")))
 }
 
 /// Builder/launcher for a world of `n` ranks.
@@ -142,7 +190,7 @@ impl World {
             "partition of {n} ranks exceeds machine size {}",
             net.procs()
         );
-        Self { n, engine: EngineCfg::Sim { net, copy_data: false } }
+        Self { n, engine: EngineCfg::Sim { net, copy_data: false, faults: None } }
     }
 
     /// Materialize benchmark payload bytes in sim mode (tests use this
@@ -154,15 +202,26 @@ impl World {
         self
     }
 
+    /// Attach a fault session to this (sim) world: every run injects
+    /// the session's plan. Panics on a real-mode world — fault
+    /// injection prices virtual time.
+    pub fn with_faults(mut self, session: Arc<FaultSession>) -> Self {
+        match &mut self.engine {
+            EngineCfg::Sim { faults, .. } => *faults = Some(session),
+            EngineCfg::Real => panic!("fault injection requires the sim engine"),
+        }
+        // Typed fault raises are routine under injection; keep the
+        // default hook's backtrace spam out of chaos sweeps.
+        beff_faults::silence_fault_panics();
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.n
     }
 
-    /// Launch: run `f` on every rank, return results in rank order.
-    ///
-    /// Panics (re-raising the rank's payload) if any rank panics.
-    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    fn run_settled<R, F>(&self, f: F) -> Result<Vec<R>, Box<dyn Any + Send>>
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
@@ -174,33 +233,48 @@ impl World {
             return run_world_fibers(self.n, &self.engine, &stacks, &f);
         }
         let shared = Arc::new(WorldShared::new(self.n, self.engine.clone()));
-        let mut results: Vec<Option<R>> = Vec::with_capacity(self.n);
-        results.resize_with(self.n, || None);
 
-        std::thread::scope(|scope| {
+        let settled = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.n);
             for rank in 0..self.n {
                 let shared = Arc::clone(&shared);
                 let f = &f;
                 handles.push(scope.spawn(move || run_rank(&shared, rank, f)));
             }
-            let mut first_panic = None;
-            for (rank, h) in handles.into_iter().enumerate() {
-                match h.join().expect("rank thread must not die outside catch_unwind") {
-                    Ok(r) => results[rank] = Some(r),
-                    Err(p) => {
-                        if first_panic.is_none() {
-                            first_panic = Some(p);
-                        }
-                    }
-                }
-            }
-            if let Some(p) = first_panic {
-                resume_unwind(p);
-            }
+            settle(handles.into_iter().map(|h| {
+                h.join().expect("rank thread must not die outside catch_unwind")
+            }))
         });
+        if let Some(s) = &shared.sched {
+            let audit = s.audit();
+            assert!(audit.balanced(), "token leak after world join: {audit:?}");
+        }
+        settled
+    }
 
-        results.into_iter().map(|r| r.expect("all ranks completed")).collect()
+    /// Launch: run `f` on every rank, return results in rank order.
+    ///
+    /// Panics (re-raising the rank's payload) if any rank panics.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        match self.run_settled(f) {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    /// Launch like [`run`](Self::run), but return a failed run's typed
+    /// root cause ([`BeffError`]) as a value instead of panicking.
+    /// String panics — true invariant violations — still propagate.
+    pub fn try_run<R, F>(&self, f: F) -> Result<Vec<R>, BeffError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        into_typed(self.run_settled(f))
     }
 
     /// Spawn the rank threads once and keep them resident for repeated
@@ -286,10 +360,7 @@ impl WorldSession {
         self.n
     }
 
-    /// Run `f` on every rank, returning results in rank order. Panics
-    /// (re-raising the first rank's payload) if any rank panics; the
-    /// session stays usable afterwards.
-    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    fn run_settled<R, F>(&self, f: F) -> Result<Vec<R>, Box<dyn Any + Send>>
     where
         R: Send + 'static,
         F: Fn(&mut Comm) -> R + Send + Sync + 'static,
@@ -328,23 +399,39 @@ impl WorldSession {
         while g.done < self.n {
             cv.wait(&mut g);
         }
-        let mut results = Vec::with_capacity(self.n);
-        let mut first_panic = None;
-        for slot in g.results.drain(..) {
-            match slot.expect("all ranks reported") {
-                Ok(r) => results.push(r),
-                Err(p) => {
-                    if first_panic.is_none() {
-                        first_panic = Some(p);
-                    }
-                }
-            }
-        }
+        let outcomes: Vec<_> =
+            g.results.drain(..).map(|slot| slot.expect("all ranks reported")).collect();
         drop(g);
-        if let Some(p) = first_panic {
-            resume_unwind(p);
+        if let Some(s) = &shared.sched {
+            let audit = s.audit();
+            assert!(audit.balanced(), "token leak after world join: {audit:?}");
         }
-        results
+        settle(outcomes)
+    }
+
+    /// Run `f` on every rank, returning results in rank order. Panics
+    /// (re-raising the first rank's payload) if any rank panics; the
+    /// session stays usable afterwards.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
+        match self.run_settled(f) {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    /// Run like [`run`](Self::run), but return a failed run's typed
+    /// root cause ([`BeffError`]) as a value; the session stays usable
+    /// afterwards. String panics still propagate.
+    pub fn try_run<R, F>(&self, f: F) -> Result<Vec<R>, BeffError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
+        into_typed(self.run_settled(f))
     }
 }
 

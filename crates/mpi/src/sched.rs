@@ -40,8 +40,10 @@
 
 #[cfg(target_arch = "x86_64")]
 use crate::fiber::FiberSet;
+use beff_faults::BeffError;
 use beff_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 struct Parker {
     granted: Mutex<bool>,
@@ -53,9 +55,15 @@ impl Parker {
         Self { granted: Mutex::new(false), cv: Condvar::new() }
     }
 
-    fn grant(&self) {
-        *self.granted.lock() = true;
+    /// Returns `true` when this call actually set the flag (a newly
+    /// issued token grant) — `false` when a grant was already pending,
+    /// so the accounting counts each outstanding token exactly once.
+    fn grant(&self) -> bool {
+        let mut g = self.granted.lock();
+        let newly = !*g;
+        *g = true;
         self.cv.notify_one();
+        newly
     }
 
     fn park(&self) {
@@ -64,6 +72,14 @@ impl Parker {
             self.cv.wait(&mut g);
         }
         *g = false;
+    }
+
+    /// Consume a pending, never-to-be-parked-for grant (a rank that is
+    /// unwinding will not park again). Returns `true` if a grant was
+    /// pending.
+    fn drain(&self) -> bool {
+        let mut g = self.granted.lock();
+        std::mem::take(&mut *g)
     }
 }
 
@@ -95,6 +111,34 @@ enum Mech {
 pub struct SimScheduler {
     inner: Mutex<SchedState>,
     mech: Mech,
+    /// Token accounting: every grant issued must eventually be consumed
+    /// (by a park that wakes, or drained from a rank that will never
+    /// park again). `granted == consumed` after the world joins is the
+    /// no-token-leak invariant the property tests pin on every exit
+    /// path — normal completion, injected crash, abort.
+    granted: AtomicU64,
+    consumed: AtomicU64,
+}
+
+/// Snapshot of the scheduler's terminal accounting state (tests,
+/// diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedAudit {
+    pub granted: u64,
+    pub consumed: u64,
+    pub live: usize,
+    pub ready: usize,
+    pub blocked: usize,
+    pub finished: usize,
+    pub deadlocked: bool,
+    pub aborted: bool,
+}
+
+impl SchedAudit {
+    /// No outstanding token and no runnable leftovers.
+    pub fn balanced(&self) -> bool {
+        self.granted == self.consumed
+    }
 }
 
 fn new_state(n: usize) -> SchedState {
@@ -116,9 +160,11 @@ impl SimScheduler {
         let sched = Self {
             inner: Mutex::new(new_state(n)),
             mech: Mech::Park((0..n).map(|_| Parker::new()).collect()),
+            granted: AtomicU64::new(0),
+            consumed: AtomicU64::new(0),
         };
         let Mech::Park(parkers) = &sched.mech else { unreachable!() };
-        parkers[0].grant();
+        sched.count_grant(parkers[0].grant());
         sched
     }
 
@@ -132,7 +178,12 @@ impl SimScheduler {
         // No out-of-band grant here: rank 0 starts from the ready
         // queue like everyone else, resumed by the drive loop.
         st.ready.push_front(0);
-        Self { inner: Mutex::new(st), mech: Mech::Fiber(FiberSet::new(n)) }
+        Self {
+            inner: Mutex::new(st),
+            mech: Mech::Fiber(FiberSet::new(n)),
+            granted: AtomicU64::new(0),
+            consumed: AtomicU64::new(0),
+        }
     }
 
     /// The fiber set to install stacks into (fiber mode only).
@@ -153,15 +204,27 @@ impl SimScheduler {
             return; // everyone has already been woken
         }
         if let Some(next) = st.ready.pop_front() {
-            parkers[next].grant();
+            self.count_grant(parkers[next].grant());
         } else if st.live > 0 {
             st.deadlocked = true;
             for (r, p) in parkers.iter().enumerate() {
                 if !st.finished[r] {
-                    p.grant();
+                    self.count_grant(p.grant());
                 }
             }
         }
+    }
+
+    #[inline]
+    fn count_grant(&self, newly: bool) {
+        if newly {
+            self.granted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn count_consume(&self) {
+        self.consumed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Block until this rank holds the token (no-op in fiber mode: a
@@ -169,12 +232,15 @@ impl SimScheduler {
     /// deadlocked while this rank was parked.
     pub fn wait_turn(&self, rank: usize) {
         match &self.mech {
-            Mech::Park(parkers) => parkers[rank].park(),
+            Mech::Park(parkers) => {
+                parkers[rank].park();
+                self.count_consume();
+            }
             #[cfg(target_arch = "x86_64")]
             Mech::Fiber(_) => {}
         }
         if self.inner.lock().deadlocked {
-            panic!("simulated world deadlocked: every live rank is blocked in recv");
+            BeffError::Deadlock.raise();
         }
     }
 
@@ -198,9 +264,7 @@ impl SimScheduler {
                 // contract); the drive loop resumes us later.
                 unsafe { fs.to_host(rank) };
                 if self.inner.lock().deadlocked {
-                    panic!(
-                        "simulated world deadlocked: every live rank is blocked in recv"
-                    );
+                    BeffError::Deadlock.raise();
                 }
             }
         }
@@ -246,12 +310,46 @@ impl SimScheduler {
             return;
         }
         st.aborted = true;
+        if st.deadlocked {
+            // The deadlock detector already granted every unfinished
+            // rank exactly once; granting again would hand unwinding
+            // ranks tokens nobody will ever consume.
+            return;
+        }
         if let Mech::Park(parkers) = &self.mech {
             for (r, p) in parkers.iter().enumerate() {
                 if !st.finished[r] {
-                    p.grant();
+                    self.count_grant(p.grant());
                 }
             }
+        }
+    }
+
+    /// Consume any grant still pending for a rank that is unwinding and
+    /// will never park again (the `run_rank` panic path calls this
+    /// after [`abort`](Self::abort), which granted the panicking rank
+    /// its own wakeup token).
+    pub fn drain_grant(&self, rank: usize) {
+        if let Mech::Park(parkers) = &self.mech {
+            if parkers[rank].drain() {
+                self.count_consume();
+            }
+        }
+    }
+
+    /// Terminal accounting snapshot. Meaningful after the world has
+    /// joined; mid-run it is merely a consistent-at-some-instant view.
+    pub fn audit(&self) -> SchedAudit {
+        let st = self.inner.lock();
+        SchedAudit {
+            granted: self.granted.load(Ordering::Relaxed),
+            consumed: self.consumed.load(Ordering::Relaxed),
+            live: st.live,
+            ready: st.ready.len(),
+            blocked: st.blocked.iter().filter(|&&b| b).count(),
+            finished: st.finished.iter().filter(|&&f| f).count(),
+            deadlocked: st.deadlocked,
+            aborted: st.aborted,
         }
     }
 
@@ -305,6 +403,10 @@ impl SimScheduler {
                 }
             };
             let Some(r) = next else { return };
+            // A fiber resume is a grant consumed synchronously: the
+            // fiber runs now, on this thread, or never.
+            self.count_grant(true);
+            self.count_consume();
             // Safety: r is unfinished and was initialized by the
             // runtime before driving started.
             unsafe { fs.resume(r) };

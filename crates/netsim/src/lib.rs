@@ -30,7 +30,7 @@ pub mod topology;
 pub mod units;
 
 pub use clock::{Clock, RealClock, VClock};
-pub use link::Link;
+pub use link::{Degrade, Link};
 pub use model::{Egress, MachineNet, NetParams, Tier, Transfer};
 pub use resource::Resource;
 pub use rng::Rng64;

@@ -2,7 +2,19 @@
 
 use crate::resource::Resource;
 use crate::units::Secs;
-use std::sync::atomic::{AtomicU64, Ordering};
+use beff_sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A fault-injected bandwidth degradation window: while the occupancy
+/// start time falls in `[from, until)`, the link's per-byte cost is
+/// multiplied by `slowdown`. Installed by the fault layer
+/// (`beff-faults`); overlapping windows multiply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degrade {
+    pub from: Secs,
+    pub until: Secs,
+    pub slowdown: f64,
+}
 
 /// One serially-shared wire/port/bus of the interconnect.
 #[derive(Debug)]
@@ -15,6 +27,13 @@ pub struct Link {
     /// Traffic counters (diagnostics): total bytes and messages.
     bytes: AtomicU64,
     messages: AtomicU64,
+    /// Fault state. `degraded` mirrors "the window list is non-empty"
+    /// so the hot path pays one relaxed load — and, crucially, performs
+    /// *bitwise-identical* float arithmetic to the pre-fault code when
+    /// no fault is installed (no multiply by 1.0 sneaks in).
+    faults: Mutex<Vec<Degrade>>,
+    degraded: AtomicBool,
+    dead: AtomicBool,
 }
 
 impl Link {
@@ -33,6 +52,9 @@ impl Link {
             res: Resource::with_contention(factor),
             bytes: AtomicU64::new(0),
             messages: AtomicU64::new(0),
+            faults: Mutex::new(Vec::new()),
+            degraded: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
         }
     }
 
@@ -44,11 +66,53 @@ impl Link {
     /// fair-share-degraded rate).
     #[inline]
     pub fn traverse(&self, head: Secs, bytes: u64) -> (Secs, Secs) {
-        let occ = bytes as f64 * self.byte_time;
+        let mut occ = bytes as f64 * self.byte_time;
+        if self.degraded.load(Ordering::Relaxed) {
+            occ *= self.slowdown_at(head + self.latency);
+        }
         let span = self.res.reserve_span(head + self.latency, occ);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.messages.fetch_add(1, Ordering::Relaxed);
         span
+    }
+
+    /// Product of the slowdowns of every installed window covering
+    /// time `t` (1.0 when none does).
+    fn slowdown_at(&self, t: Secs) -> f64 {
+        let ws = self.faults.lock();
+        ws.iter()
+            .filter(|w| w.from <= t && t < w.until)
+            .map(|w| w.slowdown)
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// Install degradation windows (replacing any previous set). The
+    /// windows are in this run's local virtual time; the fault layer
+    /// handles epoch shifting.
+    pub fn set_fault_windows(&self, windows: Vec<Degrade>) {
+        let degraded = !windows.is_empty();
+        *self.faults.lock() = windows;
+        self.degraded.store(degraded, Ordering::Relaxed);
+    }
+
+    /// Mark the link permanently failed. The link still *prices*
+    /// traffic (`traverse` works) — deciding what a dead route means is
+    /// the wire layer's job (retransmit, then raise `LinkDead`).
+    pub fn set_dead(&self, dead: bool) {
+        self.dead.store(dead, Ordering::Relaxed);
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Remove every installed fault (degradation windows and the dead
+    /// flag).
+    pub fn clear_faults(&self) {
+        self.faults.lock().clear();
+        self.degraded.store(false, Ordering::Relaxed);
+        self.dead.store(false, Ordering::Relaxed);
     }
 
     /// Next-free time (diagnostics / tests).
@@ -66,7 +130,11 @@ impl Link {
         self.messages.load(Ordering::Relaxed)
     }
 
-    /// Reset occupancy and counters to idle (tests only).
+    /// Reset occupancy and counters to idle. Installed faults are
+    /// *kept*: they belong to the fault layer, which re-installs or
+    /// clears them around each run (`FaultSession::install` /
+    /// `clear_faults`), while `reset` belongs to the world-reuse path
+    /// that recycles a net between runs.
     pub fn reset(&self) {
         self.res.reset();
         self.bytes.store(0, Ordering::Relaxed);
@@ -113,6 +181,53 @@ mod tests {
         assert!((s2 - 1e-4).abs() < 1e-12);
         // queued message pays 2x its serial occupancy
         assert!((f2 - 3e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrade_window_scales_occupancy_only_inside_the_window() {
+        let l = Link::new(0.0, 1e-6); // 1 MB/s
+        l.set_fault_windows(vec![Degrade { from: 1.0, until: 2.0, slowdown: 4.0 }]);
+        let (_, f) = l.traverse(0.0, 100); // outside the window
+        assert!((f - 1e-4).abs() < 1e-12);
+        l.reset();
+        let (_, f) = l.traverse(1.5, 100); // inside: 4x occupancy
+        assert!((f - (1.5 + 4e-4)).abs() < 1e-12);
+        l.clear_faults();
+        l.reset();
+        let (_, f) = l.traverse(1.5, 100);
+        assert!((f - (1.5 + 1e-4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_windows_multiply() {
+        let l = Link::new(0.0, 1e-6);
+        l.set_fault_windows(vec![
+            Degrade { from: 0.0, until: 10.0, slowdown: 2.0 },
+            Degrade { from: 0.0, until: 10.0, slowdown: 3.0 },
+        ]);
+        let (_, f) = l.traverse(0.0, 100);
+        assert!((f - 6e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_flag_round_trips_and_clears() {
+        let l = Link::new(0.0, 1e-9);
+        assert!(!l.is_dead());
+        l.set_dead(true);
+        assert!(l.is_dead());
+        l.clear_faults();
+        assert!(!l.is_dead());
+    }
+
+    #[test]
+    fn reset_keeps_installed_faults() {
+        let l = Link::new(0.0, 1e-6);
+        l.set_fault_windows(vec![Degrade { from: 0.0, until: 10.0, slowdown: 2.0 }]);
+        l.set_dead(true);
+        l.reset();
+        assert!(l.is_dead());
+        let (_, f) = l.traverse(0.0, 100);
+        assert!((f - 2e-4).abs() < 1e-12);
     }
 
     #[test]

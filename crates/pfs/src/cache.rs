@@ -41,7 +41,10 @@ struct State {
 pub struct Cache {
     capacity: f64,
     cache_byte_time: Secs,
-    drain_rate: f64, // bytes/sec
+    drain_rate: f64, // bytes/sec, healthy servers
+    /// Multiplier on `drain_rate`: the drain goes *through* the
+    /// servers, so degrading them (fault injection) slows it too.
+    drain_factor: Mutex<f64>,
     state: Mutex<State>,
 }
 
@@ -51,8 +54,21 @@ impl Cache {
             capacity: cfg.cache_bytes as f64,
             cache_byte_time: 1.0 / (cfg.cache_mbps * MB as f64),
             drain_rate: cfg.drain_bytes_per_sec(),
+            drain_factor: Mutex::new(1.0),
             state: Mutex::new(State { dirty: 0.0, last: 0.0, cum: 0 }),
         }
+    }
+
+    /// Current effective drain rate (bytes/sec).
+    fn rate(&self) -> f64 {
+        self.drain_rate * *self.drain_factor.lock()
+    }
+
+    /// Scale the drain bandwidth by `f` (e.g. `1 / slowdown` when the
+    /// servers are degraded). `f = 1.0` restores the healthy rate.
+    pub fn set_drain_factor(&self, f: f64) {
+        assert!(f > 0.0 && f.is_finite(), "drain factor must be a positive scale");
+        *self.drain_factor.lock() = f;
     }
 
     pub fn enabled(&self) -> bool {
@@ -61,7 +77,7 @@ impl Cache {
 
     fn drain_to(&self, s: &mut State, t: Secs) {
         if t > s.last {
-            s.dirty = (s.dirty - (t - s.last) * self.drain_rate).max(0.0);
+            s.dirty = (s.dirty - (t - s.last) * self.rate()).max(0.0);
             s.last = t;
         }
     }
@@ -78,7 +94,7 @@ impl Cache {
         } else {
             // wait until drain makes room (a huge request effectively
             // streams at drain rate)
-            t + (len_f - free) / self.drain_rate
+            t + (len_f - free) / self.rate()
         };
         let done = start + len_f * self.cache_byte_time;
         self.drain_to(&mut s, done);
@@ -91,7 +107,7 @@ impl Cache {
     pub fn sync(&self, t: Secs) -> Secs {
         let mut s = self.state.lock();
         self.drain_to(&mut s, t);
-        let done = t + s.dirty / self.drain_rate;
+        let done = t + s.dirty / self.rate();
         s.dirty = 0.0;
         s.last = done;
         done

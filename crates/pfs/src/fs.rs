@@ -126,6 +126,18 @@ impl Pfs {
         self.servers[i].set_speed_factor(f);
     }
 
+    /// Degrade *every* I/O server by `slowdown` (>= 1.0): the fault
+    /// layer's `io_slowdown` maps here as speed factor `1 / slowdown`.
+    /// The write-back cache drains through the same servers, so its
+    /// drain bandwidth degrades by the same factor.
+    pub fn degrade_servers(&self, slowdown: f64) {
+        assert!(slowdown >= 1.0, "slowdown is a multiplier on service time");
+        for s in &self.servers {
+            s.set_speed_factor(1.0 / slowdown);
+        }
+        self.cache.set_drain_factor(1.0 / slowdown);
+    }
+
     /// Enable the disk seek model on every server (0.0 disables; the
     /// calibrated machine defaults leave it off).
     pub fn set_seek_overhead(&self, seek: Secs) {

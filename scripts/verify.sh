@@ -2,8 +2,30 @@
 # Tier-1 verification: the whole workspace must build and test with
 # zero network/registry access (DESIGN.md §5), and no Cargo.toml may
 # reintroduce a registry dependency.
+#
+# Every gate runs under a hard timeout: a wedged gate names itself and
+# fails the run instead of hanging CI. Budgets are generous multiples
+# of the observed runtimes — they only fire on a genuine hang.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# run_gate NAME TIMEOUT_SECS CMD... — run a gate under `timeout`,
+# naming the stuck gate on expiry (exit 124) and the failed gate
+# otherwise.
+run_gate() {
+    local name="$1" budget="$2"
+    shift 2
+    echo "== ${name} =="
+    local rc=0
+    timeout --foreground "${budget}" "$@" || rc=$?
+    if [ "$rc" -eq 124 ]; then
+        echo "FAIL: gate '${name}' hung (killed after ${budget}s)" >&2
+        exit 124
+    elif [ "$rc" -ne 0 ]; then
+        echo "FAIL: gate '${name}' exited ${rc}" >&2
+        exit "$rc"
+    fi
+}
 
 echo "== guard: every dependency must be an in-tree path crate =="
 bad=0
@@ -28,23 +50,30 @@ if [ "$bad" -ne 0 ]; then
 fi
 echo "ok"
 
-echo "== build (offline) =="
-cargo build --release --offline --workspace
+run_gate "build (offline)" 900 \
+    cargo build --release --offline --workspace
 
-echo "== test (offline) =="
-cargo test -q --offline --workspace
+run_gate "test (offline)" 900 \
+    cargo test -q --offline --workspace
 
-echo "== mpi wakeup/scheduler stress (release: realistic race timing) =="
-cargo test -q --offline --release -p beff-mpi --test stress
+run_gate "mpi wakeup/scheduler stress (release: realistic race timing)" 300 \
+    cargo test -q --offline --release -p beff-mpi --test stress
 
-echo "== calibration residual gate (no refit) =="
 # every gated Table-1 metric must sit within the tolerance of the
 # paper value on the committed machine constants; shape claims exact
-cargo run -q --offline --release -p beff-bench --bin calibrate -- --check --out target/calibration.verify.json
+run_gate "calibration residual gate (no refit)" 600 \
+    cargo run -q --offline --release -p beff-bench --bin calibrate -- \
+    --check --out target/calibration.verify.json
 
-echo "== perf baseline (quick sweeps, scratch output) =="
 scratch="target/BENCH_SIM.verify.json"
-cargo run -q --offline --release -p beff-bench --bin perf_baseline -- --quick --out "$scratch"
+run_gate "perf baseline (quick sweeps, scratch output)" 600 \
+    cargo run -q --offline --release -p beff-bench --bin perf_baseline -- --quick --out "$scratch"
+
+# the fixed fault-scenario matrix: termination, byte-identical replay,
+# monotone degradation, I/O slowdown — all checked in-process by the
+# binary, which exits non-zero on any harness invariant violation
+run_gate "chaos sweep (fault injection harness invariants)" 60 \
+    cargo run -q --offline --release -p beff-bench --bin chaos -- --out target/chaos.verify.json
 
 echo "== BENCH_SIM.json gate =="
 # the committed full baseline must exist and parse, and so must the
@@ -53,6 +82,7 @@ if [ ! -f BENCH_SIM.json ]; then
     echo "FAIL: BENCH_SIM.json missing (run: cargo run --release -p beff-bench --bin perf_baseline)" >&2
     exit 1
 fi
-cargo run -q --offline --release -p beff-bench --bin json_check -- BENCH_SIM.json "$scratch"
+run_gate "BENCH_SIM.json parse" 120 \
+    cargo run -q --offline --release -p beff-bench --bin json_check -- BENCH_SIM.json "$scratch"
 
 echo "verify.sh: all checks passed"

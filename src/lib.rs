@@ -29,6 +29,8 @@
 //!
 //! * [`netsim`] — virtual clocks, topologies, link contention, machine
 //!   cost models,
+//! * [`faults`] — seeded deterministic fault injection (degraded and
+//!   dead links, stragglers, message drops, rank crashes),
 //! * [`mpi`] — thread-per-rank communicator: p2p, collectives, split,
 //! * [`pfs`] — striped I/O servers, write-back cache, local-disk twin,
 //! * [`mpiio`] — file views, shared pointers, collective buffering,
@@ -41,6 +43,7 @@
 //!   writers behind the [`json::ToJson`] trait.
 
 pub use beff_core as core;
+pub use beff_faults as faults;
 pub use beff_json as json;
 pub use beff_machines as machines;
 pub use beff_mpi as mpi;
