@@ -1,0 +1,109 @@
+//! The `analyze` gate binary.
+//!
+//! Usage:
+//!   `analyze [--root DIR] [--out results/analyze.json] [--quiet]`
+//!
+//! Walks the workspace, runs every rule (see `beff-analyze` crate
+//! docs), writes the JSON report, prints `file:line: [rule] message`
+//! diagnostics for each violation, and exits non-zero if any rule
+//! fired. `--root` defaults to the nearest enclosing directory with a
+//! top-level `Cargo.toml` (so the binary works from any cwd inside the
+//! checkout).
+
+use beff_analyze::analyze_workspace;
+use std::path::{Path, PathBuf};
+
+fn arg_after(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Nearest ancestor of cwd that holds a `Cargo.toml` with a
+/// `[workspace]` table (falls back to cwd).
+fn find_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => return cwd,
+        }
+    }
+}
+
+fn main() {
+    let root = arg_after("--root").map(PathBuf::from).unwrap_or_else(find_root);
+    let out = arg_after("--out").unwrap_or_else(|| "results/analyze.json".to_string());
+    let quiet = has_flag("--quiet");
+
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+
+    for v in &report.violations {
+        eprintln!("{}", v.render());
+    }
+    if !quiet {
+        for b in &report.budgets {
+            println!(
+                "unwrap budget {:<10} {:>4} counted {:>3} waived / {:>4} allowed{}",
+                b.krate,
+                b.counted,
+                b.waived,
+                b.budget,
+                if b.over() { "  OVER" } else { "" },
+            );
+        }
+        println!(
+            "analyze: {} files, {} manifests, {} waivers honored, {} violation(s)",
+            report.files_scanned,
+            report.manifests_scanned,
+            report.waivers_used,
+            report.violations.len(),
+        );
+    }
+
+    let out_path = Path::new(&out);
+    let out_abs = if out_path.is_absolute() { out_path.to_path_buf() } else { root.join(out_path) };
+    if let Some(dir) = out_abs.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("analyze: cannot create {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    let mut body = beff_json::to_string_pretty(&report);
+    body.push('\n');
+    if let Err(e) = std::fs::write(&out_abs, body) {
+        eprintln!("analyze: cannot write {}: {e}", out_abs.display());
+        std::process::exit(2);
+    }
+    if !quiet {
+        println!("analyze report -> {}", out_abs.display());
+    }
+
+    if !report.pass() {
+        eprintln!("analyze: determinism/safety contract violated");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,169 @@
+//! The project's determinism & safety contract, as data.
+//!
+//! Everything the rules enforce is declared here — which crates are
+//! deterministic, which files may touch the wall clock, how many
+//! `unwrap()`/`expect()` calls each crate is budgeted, and the lock
+//! hierarchy. Changing the contract is a deliberate, reviewable edit
+//! to this file, not a drive-by at the violation site.
+
+/// Crates whose *library* code must be bit-deterministic: no wall
+/// clock, no hasher-order iteration. (`sync` and `bench` are excluded
+/// by design: one implements timed primitives, the other measures real
+/// time.)
+pub const DETERMINISTIC_CRATES: &[&str] = &["netsim", "mpi", "pfs", "faults", "mpiio"];
+
+/// Crates exempt from the wall-clock rule wholesale.
+///
+/// * `sync` — implements `recv_timeout`/`wait_until`; time is its job.
+/// * `bench` — the timing bins exist to read the wall clock.
+/// * `analyze` — this crate (lints must not lint their own fixtures).
+pub const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["sync", "bench", "analyze"];
+
+/// Individual files exempt from the wall-clock rule (workspace-relative
+/// path suffixes). `netsim/src/clock.rs` is *the* virtual-time module:
+/// it owns the only sanctioned mapping between simulated seconds and
+/// host time.
+pub const WALLCLOCK_EXEMPT_FILES: &[&str] = &["crates/netsim/src/clock.rs"];
+
+/// Identifiers whose appearance in deterministic code means a wall
+/// clock or host-scheduling dependency.
+pub const WALLCLOCK_IDENTS: &[&str] = &["Instant", "SystemTime", "sleep", "park_timeout"];
+
+/// Hash-ordered container identifiers banned in deterministic crates.
+pub const HASH_ORDER_IDENTS: &[&str] = &["HashMap", "HashSet", "DefaultHasher", "RandomState"];
+
+/// Per-crate `unwrap()`/`expect()` ceilings, pinned by the PR-4/PR-5
+/// panic-path audit. The budget is a ratchet: it counts every call in
+/// the crate (tests included) that does not carry an
+/// `allow(unwrap)` waiver, and may only be raised by editing this
+/// table in a reviewed diff. `facade` covers the root `src/`, `tests/`
+/// and `examples/`.
+pub const UNWRAP_BUDGETS: &[(&str, u32)] = &[
+    ("analyze", 12),
+    ("bench", 46),
+    ("check", 0),
+    ("core", 13),
+    ("facade", 26),
+    ("faults", 0),
+    ("json", 7),
+    ("machines", 6),
+    ("mpi", 29),
+    ("mpiio", 25),
+    ("netsim", 9),
+    ("pfs", 19),
+    ("report", 4),
+    ("sync", 3),
+];
+
+/// One declared lock in the static hierarchy: a file-path suffix, the
+/// receiver identifier the lock is acquired through, the methods that
+/// acquire it, and its level. Within any function, locks must be
+/// acquired in strictly increasing level order; acquiring at a level
+/// ≤ one already held is a violation.
+///
+/// Levels match the runtime `beff_sync::Rank` declarations (DESIGN.md
+/// §8): the static pass catches textually nested misuse at review
+/// time, the `lock-order` feature catches dynamically nested misuse
+/// under test.
+pub struct LockDecl {
+    pub file_suffix: &'static str,
+    pub receiver: &'static str,
+    pub methods: &'static [&'static str],
+    pub level: u16,
+    pub name: &'static str,
+}
+
+/// The declared hierarchy. Levels (acquired low → high):
+///
+/// | level | lock                         | guards                         |
+/// |-------|------------------------------|--------------------------------|
+/// | 20    | `mpi.boards`                 | collective rendezvous boards   |
+/// | 30    | `mpi.mailbox`                | one rank's mailbox state       |
+/// | 40    | `sched.state`                | token-scheduler ready/blocked  |
+/// | 50    | `sched.parker`               | one rank's park flag           |
+/// | 60    | `pfs.files` / `pfs.disk`     | filesystem name table          |
+/// | 70    | `netsim.routes`              | one route-table shard          |
+/// | 80    | `sync.channel`               | channel queue (leaf)           |
+pub const LOCK_HIERARCHY: &[LockDecl] = &[
+    LockDecl {
+        file_suffix: "crates/mpi/src/comm.rs",
+        receiver: "boards",
+        methods: &["lock"],
+        level: 20,
+        name: "mpi.boards",
+    },
+    LockDecl {
+        file_suffix: "crates/mpi/src/mailbox.rs",
+        receiver: "inner",
+        methods: &["lock"],
+        level: 30,
+        name: "mpi.mailbox",
+    },
+    LockDecl {
+        file_suffix: "crates/mpi/src/sched.rs",
+        receiver: "inner",
+        methods: &["lock"],
+        level: 40,
+        name: "sched.state",
+    },
+    LockDecl {
+        file_suffix: "crates/mpi/src/sched.rs",
+        receiver: "granted",
+        methods: &["lock"],
+        level: 50,
+        name: "sched.parker",
+    },
+    LockDecl {
+        file_suffix: "crates/pfs/src/fs.rs",
+        receiver: "files",
+        methods: &["lock"],
+        level: 60,
+        name: "pfs.files",
+    },
+    LockDecl {
+        file_suffix: "crates/pfs/src/localdisk.rs",
+        receiver: "files",
+        methods: &["lock"],
+        level: 60,
+        name: "pfs.disk",
+    },
+    LockDecl {
+        file_suffix: "crates/netsim/src/routing.rs",
+        receiver: "shard",
+        methods: &["read", "write"],
+        level: 70,
+        name: "netsim.routes",
+    },
+    LockDecl {
+        file_suffix: "crates/sync/src/channel.rs",
+        receiver: "state",
+        methods: &["lock"],
+        level: 80,
+        name: "sync.channel",
+    },
+];
+
+/// The crate a workspace-relative path belongs to, for budget and
+/// scope decisions: `crates/<name>/…` → `<name>`, everything else
+/// (root `src/`, `tests/`, `examples/`) → `facade`.
+pub fn crate_of(path: &str) -> &str {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some(slash) = rest.find('/') {
+            return &rest[..slash];
+        }
+    }
+    "facade"
+}
+
+/// Is `path` (workspace-relative) in wall-clock-banned scope?
+pub fn wallclock_applies(path: &str) -> bool {
+    if WALLCLOCK_EXEMPT_FILES.iter().any(|f| path.ends_with(f) || path == *f) {
+        return false;
+    }
+    !WALLCLOCK_EXEMPT_CRATES.contains(&crate_of(path))
+}
+
+/// Is `path` in hash-order-banned scope?
+pub fn hash_order_applies(path: &str) -> bool {
+    DETERMINISTIC_CRATES.contains(&crate_of(path))
+}

@@ -1,0 +1,140 @@
+//! Rule `path-deps`: every dependency in every workspace manifest must
+//! be an in-tree path crate (`path = …` or `workspace = true`). This
+//! is the analyzer-resident replacement for the shell `awk` guard that
+//! used to live in `scripts/verify.sh` — same contract (DESIGN.md §5),
+//! but with file:line diagnostics and a JSON trail.
+//!
+//! The scan is a line-oriented TOML subset, which the workspace's
+//! manifests stay within on purpose: section headers on their own
+//! line, one `name = value` entry per line. Both the inline form
+//! (`foo = { path = "…" }`) and the subsection form
+//! (`[dependencies.foo]` + `path = "…"`) are understood.
+
+use crate::rules::Violation;
+
+/// Scan one manifest's text. `path` is workspace-relative.
+pub fn check_manifest(path: &str, text: &str, out: &mut Vec<Violation>) {
+    let mut in_dep_table = false; // [dependencies] / [dev-…] / [workspace.dependencies]
+    // A `[dependencies.foo]` subsection: (entry line, name, saw path/workspace key)
+    let mut subsection: Option<(u32, String, bool)> = None;
+
+    let flush_subsection =
+        |sub: &mut Option<(u32, String, bool)>, out: &mut Vec<Violation>| {
+            if let Some((line, name, ok)) = sub.take() {
+                if !ok {
+                    out.push(Violation {
+                        rule: "path-deps",
+                        path: path.to_string(),
+                        line,
+                        message: format!(
+                            "dependency table for `{name}` has no `path` key — \
+                             registry dependencies are banned (DESIGN.md §5)"
+                        ),
+                    });
+                }
+            }
+        };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_subsection(&mut subsection, out);
+            let header = line.trim_start_matches('[').trim_end_matches(']');
+            if let Some(dep_name) = header
+                .strip_prefix("dependencies.")
+                .or_else(|| header.strip_prefix("dev-dependencies."))
+                .or_else(|| header.strip_prefix("build-dependencies."))
+                .or_else(|| header.strip_prefix("workspace.dependencies."))
+            {
+                in_dep_table = false;
+                subsection = Some((line_no, dep_name.to_string(), false));
+            } else {
+                in_dep_table = header.ends_with("dependencies");
+            }
+            continue;
+        }
+        if let Some((_, _, ok)) = &mut subsection {
+            let key = line.split('=').next().unwrap_or("").trim();
+            if key == "path" || (key == "workspace" && line.contains("true")) {
+                *ok = true;
+            }
+            continue;
+        }
+        if in_dep_table && line.contains('=') {
+            let ok = has_path_or_workspace(line);
+            if !ok {
+                let name = line.split('=').next().unwrap_or(line).trim();
+                out.push(Violation {
+                    rule: "path-deps",
+                    path: path.to_string(),
+                    line: line_no,
+                    message: format!(
+                        "`{name}` is not a path dependency — \
+                         registry dependencies are banned (DESIGN.md §5)"
+                    ),
+                });
+            }
+        }
+    }
+    flush_subsection(&mut subsection, out);
+}
+
+fn has_path_or_workspace(line: &str) -> bool {
+    // `foo = { path = "crates/foo" }` or `foo = { workspace = true }` —
+    // a `path` or `workspace = true` key inside the value.
+    let Some(value) = line.splitn(2, '=').nth(1) else { return false };
+    value.contains("path") || value.replace(' ', "").contains("workspace=true")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(text: &str) -> Vec<Violation> {
+        let mut v = Vec::new();
+        check_manifest("crates/x/Cargo.toml", text, &mut v);
+        v
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let v = check(
+            "[dependencies]\nbeff-json = { workspace = true }\n\
+             beff-sync = { path = \"../sync\" }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn registry_dep_is_flagged_with_line() {
+        let v = check("[package]\nname = \"x\"\n\n[dependencies]\nserde = \"1.0\"\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn dev_and_workspace_tables_are_covered() {
+        let v = check("[dev-dependencies]\nproptest = \"1\"\n[workspace.dependencies]\nrand = \"0.8\"\n");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn subsection_form_requires_path() {
+        let ok = check("[dependencies.beff-json]\npath = \"../json\"\n");
+        assert!(ok.is_empty());
+        let bad = check("[dependencies.serde]\nversion = \"1\"\nfeatures = [\"derive\"]\n");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let v = check("[package]\nname = \"x\"\nversion = \"0.1.0\"\n[features]\nfoo = []\n");
+        assert!(v.is_empty());
+    }
+}

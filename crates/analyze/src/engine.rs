@@ -1,0 +1,300 @@
+//! Workspace walk + rule orchestration + the machine-readable report.
+//!
+//! [`analyze_workspace`] scans every tracked `.rs` file and `Cargo.toml`
+//! under the workspace root (skipping `target/` and `.git/`), runs the
+//! full rule set, aggregates unwrap budgets per crate, and returns an
+//! [`AnalyzeReport`] that serializes through beff-json into
+//! `results/analyze.json`.
+
+use crate::config;
+use crate::deps;
+use crate::rules::{self, UnwrapSite, Violation};
+use crate::source::SourceFile;
+use beff_json::{Json, ToJson};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Per-crate unwrap/expect budget verdict.
+#[derive(Debug, Clone)]
+pub struct BudgetLine {
+    pub krate: String,
+    pub counted: u32,
+    pub waived: u32,
+    pub budget: u32,
+}
+
+impl BudgetLine {
+    pub fn over(&self) -> bool {
+        self.counted > self.budget
+    }
+}
+
+impl ToJson for BudgetLine {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("crate", &self.krate)
+            .field("counted", &self.counted)
+            .field("waived", &self.waived)
+            .field("budget", &self.budget)
+            .field("over", &self.over())
+            .build()
+    }
+}
+
+impl ToJson for Violation {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("rule", self.rule)
+            .field("path", &self.path)
+            .field("line", &(self.line as u64))
+            .field("message", &self.message)
+            .build()
+    }
+}
+
+/// The full analysis outcome.
+#[derive(Debug)]
+pub struct AnalyzeReport {
+    pub schema: &'static str,
+    pub files_scanned: usize,
+    pub manifests_scanned: usize,
+    pub violations: Vec<Violation>,
+    pub budgets: Vec<BudgetLine>,
+    pub waivers_used: usize,
+}
+
+impl AnalyzeReport {
+    pub fn pass(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl ToJson for AnalyzeReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("schema", self.schema)
+            .field("pass", &self.pass())
+            .field("files_scanned", &self.files_scanned)
+            .field("manifests_scanned", &self.manifests_scanned)
+            .field("waivers_used", &self.waivers_used)
+            .field("budgets", &self.budgets)
+            .field("violations", &self.violations)
+            .build()
+    }
+}
+
+/// Analyze the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<AnalyzeReport> {
+    let mut rs_files = Vec::new();
+    let mut manifests = Vec::new();
+    walk(root, root, &mut rs_files, &mut manifests)?;
+    // Deterministic report order regardless of directory enumeration.
+    rs_files.sort();
+    manifests.sort();
+
+    let mut violations = Vec::new();
+    let mut sites: Vec<UnwrapSite> = Vec::new();
+    let mut waivers_used = 0usize;
+    for rel in &rs_files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let f = SourceFile::parse(&rel.to_string_lossy(), &text);
+        rules::check_waivers(&f, &mut violations);
+        waivers_used += rules::check_wallclock(&f, &mut violations);
+        waivers_used += rules::check_hash_order(&f, &mut violations);
+        waivers_used += rules::check_safety(&f, &mut violations);
+        waivers_used += rules::check_lock_order(&f, &mut violations);
+        rules::collect_unwraps(&f, &mut sites);
+    }
+    for rel in &manifests {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        deps::check_manifest(&rel.to_string_lossy(), &text, &mut violations);
+    }
+
+    let budgets = settle_budgets(&sites, &mut violations);
+    waivers_used += sites.iter().filter(|s| s.waived).count();
+
+    violations.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    Ok(AnalyzeReport {
+        schema: "beff/analyze/1",
+        files_scanned: rs_files.len(),
+        manifests_scanned: manifests.len(),
+        violations,
+        budgets,
+        waivers_used,
+    })
+}
+
+/// Aggregate unwrap sites into per-crate verdicts; crates over budget
+/// (or absent from the budget table) become violations.
+fn settle_budgets(sites: &[UnwrapSite], violations: &mut Vec<Violation>) -> Vec<BudgetLine> {
+    let mut per_crate: BTreeMap<&str, (u32, u32, Vec<&UnwrapSite>)> = BTreeMap::new();
+    for s in sites {
+        let e = per_crate.entry(config::crate_of(&s.path)).or_default();
+        if s.waived {
+            e.1 += 1;
+        } else {
+            e.0 += 1;
+            e.2.push(s);
+        }
+    }
+    let budget_of = |k: &str| {
+        config::UNWRAP_BUDGETS
+            .iter()
+            .find(|(name, _)| *name == k)
+            .map(|&(_, b)| b)
+    };
+    let mut out = Vec::new();
+    for (krate, (counted, waived, examples)) in &per_crate {
+        let Some(budget) = budget_of(krate) else {
+            violations.push(Violation {
+                rule: "unwrap",
+                path: format!("crates/{krate}"),
+                line: 0,
+                message: format!(
+                    "crate `{krate}` has {counted} unwrap()/expect() calls but no budget \
+                     entry in beff-analyze config::UNWRAP_BUDGETS"
+                ),
+            });
+            continue;
+        };
+        if *counted > budget {
+            let mut examples: Vec<String> = examples
+                .iter()
+                .rev()
+                .take(5)
+                .map(|s| format!("{}:{}", s.path, s.line))
+                .collect();
+            examples.reverse();
+            violations.push(Violation {
+                rule: "unwrap",
+                path: format!("crates/{krate}"),
+                line: 0,
+                message: format!(
+                    "crate `{krate}` has {counted} unbudgeted unwrap()/expect() calls \
+                     (budget {budget}); convert to typed errors, waive true invariants with \
+                     `// beff-analyze: allow(unwrap): <why>`, or raise the budget in a \
+                     reviewed diff (recent sites: {})",
+                    examples.join(", ")
+                ),
+            });
+        }
+        out.push(BudgetLine {
+            krate: krate.to_string(),
+            counted: *counted,
+            waived: *waived,
+            budget,
+        });
+    }
+    out
+}
+
+/// Recursively gather `.rs` files and `Cargo.toml`s, as root-relative
+/// paths. `target/`, `.git/` and hidden directories are skipped.
+fn walk(
+    root: &Path,
+    dir: &Path,
+    rs: &mut Vec<PathBuf>,
+    manifests: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, rs, manifests)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            if name == "Cargo.toml" {
+                manifests.push(rel);
+            } else {
+                rs.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a throwaway mini-workspace and analyze it.
+    fn scratch(name: &str, files: &[(&str, &str)]) -> AnalyzeReport {
+        let dir = std::env::temp_dir().join(format!("beff-analyze-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for (rel, text) in files {
+            let p = dir.join(rel);
+            std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+            std::fs::write(p, text).expect("write");
+        }
+        let report = analyze_workspace(&dir).expect("analyze");
+        let _ = std::fs::remove_dir_all(&dir);
+        report
+    }
+
+    #[test]
+    fn clean_tree_passes() {
+        let r = scratch(
+            "clean",
+            &[
+                ("crates/mpi/src/lib.rs", "pub fn ok() -> u32 { 1 }\n"),
+                ("crates/mpi/Cargo.toml", "[package]\nname = \"beff-mpi\"\n"),
+            ],
+        );
+        assert!(r.pass(), "{:?}", r.violations);
+        assert_eq!(r.files_scanned, 1);
+        assert_eq!(r.manifests_scanned, 1);
+    }
+
+    #[test]
+    fn seeded_violations_are_reported_with_lines() {
+        let r = scratch(
+            "seeded",
+            &[
+                (
+                    "crates/mpi/src/comm.rs",
+                    "fn f() {\n let t = std::time::Instant::now();\n}\n",
+                ),
+                ("crates/mpi/Cargo.toml", "[dependencies]\nserde = \"1\"\n"),
+            ],
+        );
+        assert!(!r.pass());
+        let wall = r.violations.iter().find(|v| v.rule == "wall-clock").expect("wall-clock");
+        assert_eq!(wall.line, 2);
+        assert!(wall.path.ends_with("comm.rs"));
+        assert!(r.violations.iter().any(|v| v.rule == "path-deps"));
+    }
+
+    #[test]
+    fn budget_overflow_is_a_violation() {
+        // `machines` is budgeted tightest; flood it.
+        let body: String = (0..config::UNWRAP_BUDGETS
+            .iter()
+            .find(|(n, _)| *n == "machines")
+            .expect("budget")
+            .1
+            + 1)
+            .map(|i| format!(" x{i}.unwrap();\n"))
+            .collect();
+        let r = scratch(
+            "budget",
+            &[("crates/machines/src/lib.rs", &format!("fn f() {{\n{body}}}\n"))],
+        );
+        let v = r.violations.iter().find(|v| v.rule == "unwrap").expect("unwrap violation");
+        assert!(v.message.contains("machines"));
+    }
+
+    #[test]
+    fn report_serializes_via_beff_json() {
+        let r = scratch("json", &[("crates/mpi/src/lib.rs", "pub fn ok() {}\n")]);
+        let s = beff_json::to_string_pretty(&r);
+        beff_json::validate(&s).expect("valid JSON");
+        assert!(s.contains("\"schema\": \"beff/analyze/1\""));
+    }
+}

@@ -1,0 +1,44 @@
+//! # beff-analyze
+//!
+//! The workspace's determinism & safety lint pass. The b_eff
+//! reproduction's headline guarantee — bitwise-deterministic replay —
+//! was previously enforced only by runtime golden tests; this crate
+//! makes the contract *static*: a zero-dependency Rust lexer plus a
+//! rule engine walk every source file and manifest on each verify run
+//! and fail the build on:
+//!
+//! * `wall-clock` — `Instant`/`SystemTime`/`sleep` in deterministic
+//!   library code (the simulated clock in `netsim::clock` is the only
+//!   sanctioned time source);
+//! * `hash-order` — `HashMap`/`HashSet` in deterministic crates, whose
+//!   iteration order depends on the process-random hasher;
+//! * `unwrap` — per-crate `unwrap()`/`expect()` budgets (a ratchet:
+//!   counts may fall freely but may only rise by editing the budget
+//!   table in [`config`]);
+//! * `safety` — `unsafe` blocks/impls without a `// SAFETY:`
+//!   justification;
+//! * `lock-order` — textually nested acquisition of declared locks out
+//!   of hierarchy order (the runtime half lives in beff-sync's
+//!   `lock-order` feature);
+//! * `path-deps` — any registry dependency in any `Cargo.toml`.
+//!
+//! Known-good exceptions are waived in place, with a reason:
+//!
+//! ```text
+//! // beff-analyze: allow(hash-order): keyed lookups only, never iterated
+//! ```
+//!
+//! Run it as `cargo run -p beff-analyze --bin analyze`; diagnostics are
+//! `file:line: [rule] message` on stderr, the exit code is the gate,
+//! and `results/analyze.json` carries the machine-readable report.
+
+pub mod config;
+pub mod deps;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use engine::{analyze_workspace, AnalyzeReport};
+pub use rules::Violation;
+pub use source::SourceFile;

@@ -31,9 +31,13 @@ use crate::sched::SimScheduler;
 use crate::wire;
 use beff_faults::{BeffError, FaultSession};
 use beff_netsim::{MachineNet, Secs};
-use beff_sync::Mutex;
+use beff_sync::{Mutex, Rank};
 use std::cell::RefCell;
-use std::collections::HashMap;
+
+/// Lock-hierarchy position of the collective boards (DESIGN.md §8):
+/// acquired first, before any mailbox or scheduler lock.
+static BOARDS_RANK: Rank = Rank::new(20, "mpi.boards");
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -134,7 +138,7 @@ pub struct WorldShared {
     pub(crate) sched: Option<SimScheduler>,
     /// Rendezvous boards for simulated collectives, keyed by
     /// `(ctx, collective tag)`.
-    pub(crate) boards: Mutex<HashMap<(u32, Tag), CollBoard>>,
+    pub(crate) boards: Mutex<BTreeMap<(u32, Tag), CollBoard>>,
 }
 
 impl WorldShared {
@@ -158,7 +162,7 @@ impl WorldShared {
             // ctx 0 is the world communicator
             next_ctx: AtomicU32::new(1),
             sched,
-            boards: Mutex::new(HashMap::new()),
+            boards: Mutex::ranked(&BOARDS_RANK, BTreeMap::new()),
         }
     }
 }

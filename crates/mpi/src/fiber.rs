@@ -43,28 +43,39 @@ pub(crate) struct FiberStack {
     size: usize,
 }
 
-// A stack is plain memory; the runtime moves sets of them between
-// session runs. All *use* stays on the driving thread.
+// SAFETY: a stack is plain memory; the runtime moves sets of them
+// between session runs, but all *use* stays on the driving thread.
 unsafe impl Send for FiberStack {}
+// SAFETY: shared references only expose the canary word, which is
+// written once before any fiber runs.
 unsafe impl Sync for FiberStack {}
 
 impl FiberStack {
     pub(crate) fn new(size: usize) -> Self {
         let layout = Layout::from_size_align(size, STACK_ALIGN).expect("stack layout");
+        // SAFETY: `layout` has non-zero size (STACK_SIZE) and valid
+        // alignment; the null result is checked on the next line.
         let base = unsafe { alloc(layout) };
         assert!(!base.is_null(), "fiber stack allocation failed");
+        // SAFETY: `base` is a live allocation of at least 8 aligned
+        // bytes (STACK_ALIGN = 64), so the u64 canary write is in
+        // bounds and aligned.
         unsafe { (base as *mut u64).write(CANARY) };
         Self { base, size }
     }
 
     /// Exclusive top of the stack (stacks grow down).
     fn top(&self) -> *mut u8 {
+        // SAFETY: one-past-the-end of the owned allocation, which is
+        // explicitly allowed for pointer arithmetic.
         unsafe { self.base.add(self.size) }
     }
 
     /// Did the fiber ever scribble over the deep end? (No guard pages
     /// on heap stacks, so this is the overflow tripwire.)
     pub(crate) fn canary_intact(&self) -> bool {
+        // SAFETY: reads the canary word written by `new` inside the
+        // live allocation; fibers never legally reach this deep.
         unsafe { (self.base as *const u64).read() == CANARY }
     }
 }
@@ -72,6 +83,8 @@ impl FiberStack {
 impl Drop for FiberStack {
     fn drop(&mut self) {
         let layout = Layout::from_size_align(self.size, STACK_ALIGN).expect("stack layout");
+        // SAFETY: `base` came from `alloc` with this exact layout and
+        // is freed exactly once (Drop).
         unsafe { dealloc(self.base, layout) };
     }
 }
@@ -85,8 +98,11 @@ pub(crate) struct FiberSet {
     sps: Vec<std::cell::UnsafeCell<*mut u8>>,
 }
 
-// Safety: see struct docs — single-thread use by construction.
+// SAFETY: see struct docs — single-thread use by construction; the
+// raw cells are only touched by the driving host thread.
 unsafe impl Send for FiberSet {}
+// SAFETY: as above — `Sync` exists for `WorldShared`'s sake, not for
+// actual cross-thread access.
 unsafe impl Sync for FiberSet {}
 
 impl FiberSet {
@@ -99,6 +115,8 @@ impl FiberSet {
 
     /// Install a freshly initialized fiber (see [`init_fiber`]).
     pub(crate) fn install(&self, rank: usize, sp: *mut u8) {
+        // SAFETY: install happens on the driving thread before any
+        // resume; no other reference to the cell exists yet.
         unsafe { *self.sps[rank].get() = sp };
     }
 
@@ -108,6 +126,8 @@ impl FiberSet {
     /// `rank` must hold an initialized, non-finished fiber, and the
     /// caller must be the driving host thread.
     pub(crate) unsafe fn resume(&self, rank: usize) {
+        // SAFETY: caller contract (driving host thread, initialized
+        // fiber); the cells are written only by this thread.
         unsafe { fiber_switch(self.host_sp.get(), self.sps[rank].get()) };
     }
 
@@ -116,6 +136,8 @@ impl FiberSet {
     /// # Safety
     /// Must be called from the fiber registered at `rank`.
     pub(crate) unsafe fn to_host(&self, rank: usize) {
+        // SAFETY: caller contract (called from the fiber registered at
+        // `rank`); the host slot was saved by the matching resume.
         unsafe { fiber_switch(self.sps[rank].get(), self.host_sp.get()) };
     }
 }
@@ -129,12 +151,16 @@ impl FiberSet {
 /// completion (its final switch) before dropping it; `body`'s borrows
 /// must outlive the run (the runtime guarantees both).
 pub(crate) unsafe fn init_fiber(stack: &FiberStack, body: Box<dyn FnOnce() + '_>) -> *mut u8 {
-    // Erase the lifetime: the fiber completes before the borrowed data
-    // dies (runtime contract), and the box layout is lifetime-free.
+    // SAFETY: lifetime erasure only — the fiber completes before the
+    // borrowed data dies (runtime contract, see # Safety above), and
+    // the box layout is lifetime-free.
     let body: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(body) };
     let closure = Box::into_raw(Box::new(body)) as u64;
 
     let top = stack.top();
+    // SAFETY: all writes land inside `stack`'s allocation (72 bytes
+    // below its top, far above the canary), and the save-area layout
+    // matches fiber_switch's asm exactly.
     unsafe {
         // Layout mirrors fiber_switch's save area (see its asm):
         //   sp + 0   mxcsr | x87 cw
@@ -205,6 +231,8 @@ unsafe extern "sysv64" fn fiber_entry() {
 }
 
 unsafe extern "sysv64" fn fiber_main(closure: *mut u8) {
+    // SAFETY: `closure` is the Box::into_raw pointer parked in r12 by
+    // init_fiber; ownership transfers here exactly once.
     let body = unsafe { Box::from_raw(closure as *mut Box<dyn FnOnce()>) };
     body();
     // A fiber body must leave through its final switch to the host

@@ -97,16 +97,30 @@ impl Inner {
     }
 }
 
+/// Lock-hierarchy position of a rank's mailbox (DESIGN.md §8): below
+/// the scheduler locks — senders finish their mailbox transaction
+/// before touching the token scheduler.
+static MAILBOX_RANK: beff_sync::Rank = beff_sync::Rank::new(30, "mpi.mailbox");
+
 /// Two-queue matching mailbox + wakeup for one rank.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Mailbox {
     inner: Mutex<Inner>,
     cond: Condvar,
 }
 
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Mailbox {
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            inner: Mutex::ranked(&MAILBOX_RANK, Inner::default()),
+            cond: Condvar::new(),
+        }
     }
 
     /// Deliver an envelope (called from the sender's thread). Wakes
@@ -177,6 +191,7 @@ impl Mailbox {
     /// deadlock-detecting tests; real mode only). Returns `None` on
     /// timeout or poison.
     pub fn recv_timeout(&self, m: Match, timeout: Duration) -> Option<Envelope> {
+        // beff-analyze: allow(wall-clock): real-mode-only API; sim worlds never call this
         let deadline = std::time::Instant::now() + timeout;
         let mut g = self.inner.lock();
         if let Some(env) = g.take_unexpected(m) {

@@ -139,11 +139,14 @@ where
     let slots = results.as_mut_ptr();
     for (rank, stack) in stacks.iter().enumerate() {
         let shared = &shared;
-        // Disjoint per-rank slot, written from this same thread while
-        // `results` is otherwise untouched until the drive loop ends.
+        // SAFETY: disjoint per-rank slot, written from this same thread
+        // while `results` is otherwise untouched until the drive loop
+        // ends.
         let slot = unsafe { slots.add(rank) };
         let body = Box::new(move || {
             let out = run_rank(shared, rank, f);
+            // SAFETY: this fiber is the only writer of its slot, and the
+            // host thread reads it only after drive_fibers() returns.
             unsafe { *slot = Some(out) };
             shared.sched.as_ref().expect("fibered world").fiber_exit(rank);
         });

@@ -41,9 +41,15 @@
 #[cfg(target_arch = "x86_64")]
 use crate::fiber::FiberSet;
 use beff_faults::BeffError;
-use beff_sync::{Condvar, Mutex};
+use beff_sync::{Condvar, Mutex, Rank};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-hierarchy positions (DESIGN.md §8): the scheduler state is
+/// taken before any per-rank parker flag (`grant_next` holds `inner`
+/// while granting), never the other way around.
+static SCHED_STATE_RANK: Rank = Rank::new(40, "sched.state");
+static SCHED_PARKER_RANK: Rank = Rank::new(50, "sched.parker");
 
 struct Parker {
     granted: Mutex<bool>,
@@ -52,7 +58,7 @@ struct Parker {
 
 impl Parker {
     fn new() -> Self {
-        Self { granted: Mutex::new(false), cv: Condvar::new() }
+        Self { granted: Mutex::ranked(&SCHED_PARKER_RANK, false), cv: Condvar::new() }
     }
 
     /// Returns `true` when this call actually set the flag (a newly
@@ -158,7 +164,7 @@ impl SimScheduler {
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
         let sched = Self {
-            inner: Mutex::new(new_state(n)),
+            inner: Mutex::ranked(&SCHED_STATE_RANK, new_state(n)),
             mech: Mech::Park((0..n).map(|_| Parker::new()).collect()),
             granted: AtomicU64::new(0),
             consumed: AtomicU64::new(0),
@@ -179,7 +185,7 @@ impl SimScheduler {
         // queue like everyone else, resumed by the drive loop.
         st.ready.push_front(0);
         Self {
-            inner: Mutex::new(st),
+            inner: Mutex::ranked(&SCHED_STATE_RANK, st),
             mech: Mech::Fiber(FiberSet::new(n)),
             granted: AtomicU64::new(0),
             consumed: AtomicU64::new(0),
@@ -260,7 +266,7 @@ impl SimScheduler {
             #[cfg(target_arch = "x86_64")]
             Mech::Fiber(fs) => {
                 self.inner.lock().blocked[rank] = true;
-                // Safety: called from rank's own fiber (scheduler
+                // SAFETY: called from rank's own fiber (scheduler
                 // contract); the drive loop resumes us later.
                 unsafe { fs.to_host(rank) };
                 if self.inner.lock().deadlocked {
@@ -369,7 +375,7 @@ impl SimScheduler {
                 st.live -= 1;
             }
         }
-        // Safety: called from rank's own fiber as its last action.
+        // SAFETY: called from rank's own fiber as its last action.
         unsafe { fs.to_host(rank) };
         // The drive loop never resumes a finished fiber; if it did, the
         // fiber's dead stack must not be re-entered.
@@ -407,7 +413,7 @@ impl SimScheduler {
             // fiber runs now, on this thread, or never.
             self.count_grant(true);
             self.count_consume();
-            // Safety: r is unfinished and was initialized by the
+            // SAFETY: r is unfinished and was initialized by the
             // runtime before driving started.
             unsafe { fs.resume(r) };
         }

@@ -3,7 +3,7 @@
 
 use beff_pfs::{LocalDisk, Pfs};
 use beff_sync::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Storage backend: the simulated parallel filesystem or real disk.
@@ -17,16 +17,16 @@ pub enum Storage {
 /// closure).
 pub struct IoWorld {
     storage: Storage,
-    shared_ptrs: Mutex<HashMap<String, Arc<Mutex<u64>>>>,
+    shared_ptrs: Mutex<BTreeMap<String, Arc<Mutex<u64>>>>,
 }
 
 impl IoWorld {
     pub fn sim(pfs: Arc<Pfs>) -> Arc<Self> {
-        Arc::new(Self { storage: Storage::Sim(pfs), shared_ptrs: Mutex::new(HashMap::new()) })
+        Arc::new(Self { storage: Storage::Sim(pfs), shared_ptrs: Mutex::new(BTreeMap::new()) })
     }
 
     pub fn local(disk: Arc<LocalDisk>) -> Arc<Self> {
-        Arc::new(Self { storage: Storage::Local(disk), shared_ptrs: Mutex::new(HashMap::new()) })
+        Arc::new(Self { storage: Storage::Local(disk), shared_ptrs: Mutex::new(BTreeMap::new()) })
     }
 
     pub fn storage(&self) -> &Storage {

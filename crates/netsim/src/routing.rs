@@ -14,8 +14,8 @@
 //! lookups take a shard read lock only.
 
 use crate::topology::Topology;
-use beff_sync::RwLock;
-use std::collections::HashMap;
+use beff_sync::{Rank, RwLock};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A route split into sender-booked and receiver-booked halves.
@@ -37,15 +37,30 @@ impl SplitRoute {
 
 const SHARDS: usize = 16;
 
+/// Lock-hierarchy position of every route-table shard (DESIGN.md §8).
+/// One level for all 16 shards: no code path ever holds two shards at
+/// once (`split` touches exactly one, `len` reads them sequentially).
+static ROUTES_RANK: Rank = Rank::new(70, "netsim.routes");
+
 /// Machine-wide, lazily-memoized all-pairs route table.
-#[derive(Debug, Default)]
+///
+/// Shards hold `BTreeMap`s, not `HashMap`s: route enumeration order is
+/// structural (sorted by pair), never hasher-dependent, so any future
+/// diagnostic walk over the table is bitwise-reproducible for free.
+#[derive(Debug)]
 pub struct RouteTable {
-    shards: [RwLock<HashMap<(u32, u32), Arc<SplitRoute>>>; SHARDS],
+    shards: [RwLock<BTreeMap<(u32, u32), Arc<SplitRoute>>>; SHARDS],
+}
+
+impl Default for RouteTable {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RouteTable {
     pub fn new() -> Self {
-        Self::default()
+        Self { shards: std::array::from_fn(|_| RwLock::ranked(&ROUTES_RANK, BTreeMap::new())) }
     }
 
     #[inline]

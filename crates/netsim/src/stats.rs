@@ -79,7 +79,9 @@ impl TrafficReport {
 /// Collect a traffic report from a machine's links.
 pub fn traffic_report(net: &MachineNet) -> TrafficReport {
     let topo = net.topology();
-    let mut kinds = std::collections::HashMap::new();
+    // BTreeMap: aggregation walks in kind-index order, so the report is
+    // structurally ordered rather than hasher-ordered.
+    let mut kinds = std::collections::BTreeMap::new();
     for (i, link) in net.links().iter().enumerate() {
         let k = topo.link_kind(i);
         let e = kinds.entry(kind_index(k)).or_insert(KindStats::default());

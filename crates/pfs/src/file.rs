@@ -3,14 +3,20 @@
 
 use crate::cache::CACHE_BLOCK;
 use beff_sync::Mutex;
+// beff-analyze: allow(hash-order): per-block maps below are keyed-lookup-only, never iterated
 use std::collections::HashMap;
 
 #[derive(Debug, Default)]
 struct Inner {
     size: u64,
     /// Sparse content, CACHE_BLOCK-sized blocks (store-data mode only).
+    /// Hash maps are kept here (hot per-block path) because access is
+    /// strictly by key: nothing ever iterates them, so hasher order
+    /// cannot leak into results.
+    // beff-analyze: allow(hash-order): keyed by block index, cleared wholesale, never iterated
     blocks: HashMap<u64, Box<[u8]>>,
     /// Cache residency: block index -> LRU stamp.
+    // beff-analyze: allow(hash-order): keyed by block index, never iterated
     cached: HashMap<u64, u64>,
 }
 

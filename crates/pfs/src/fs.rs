@@ -29,9 +29,12 @@ use crate::file::FsFile;
 use crate::server::Server;
 use crate::stripe;
 use beff_netsim::{Resource, Secs, MB};
-use beff_sync::Mutex;
-use std::collections::HashMap;
+use beff_sync::{Mutex, Rank};
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Lock-hierarchy position of the filesystem name table (DESIGN.md §8).
+static FILES_RANK: Rank = Rank::new(60, "pfs.files");
 
 /// Payload of a write: real bytes (store-data mode) or just a length.
 #[derive(Debug, Clone, Copy)]
@@ -64,7 +67,7 @@ pub struct Pfs {
     channel: Resource,
     channel_byte_time: Secs,
     cache: Cache,
-    files: Mutex<HashMap<String, Arc<FsFile>>>,
+    files: Mutex<BTreeMap<String, Arc<FsFile>>>,
     client_byte_time: Secs,
 }
 
@@ -86,7 +89,7 @@ impl Pfs {
             channel: Resource::new(),
             channel_byte_time,
             cache,
-            files: Mutex::new(HashMap::new()),
+            files: Mutex::ranked(&FILES_RANK, BTreeMap::new()),
             client_byte_time,
         }
     }

@@ -3,8 +3,11 @@
 //! Uses positioned I/O (`pread`/`pwrite`) so concurrent ranks do not
 //! fight over a shared cursor.
 
-use beff_sync::Mutex;
-use std::collections::HashMap;
+use beff_sync::{Mutex, Rank};
+
+/// Lock-hierarchy position of the name table (DESIGN.md §8).
+static DISK_RANK: Rank = Rank::new(60, "pfs.disk");
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
@@ -58,7 +61,7 @@ impl LocalFile {
 #[derive(Debug)]
 pub struct LocalDisk {
     dir: PathBuf,
-    files: Mutex<HashMap<String, Arc<LocalFile>>>,
+    files: Mutex<BTreeMap<String, Arc<LocalFile>>>,
 }
 
 impl LocalDisk {
@@ -66,7 +69,7 @@ impl LocalDisk {
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir, files: Mutex::new(HashMap::new()) })
+        Ok(Self { dir, files: Mutex::ranked(&DISK_RANK, BTreeMap::new()) })
     }
 
     /// A LocalDisk in a fresh unique subdirectory of the system temp dir.

@@ -8,8 +8,14 @@
 //! fan-out patterns in the simulated file-server paths, and measured
 //! honestly in the `micro` timing binary.
 
+use crate::order::Rank;
 use crate::{Condvar, Mutex};
 use std::collections::VecDeque;
+
+/// Lock-hierarchy position of a channel's queue (DESIGN.md §8): the
+/// leaf level — nothing else is acquired while a channel operation
+/// holds its state.
+static CHANNEL_RANK: Rank = Rank::new(80, "sync.channel");
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -91,7 +97,7 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 
 fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        state: Mutex::ranked(&CHANNEL_RANK, State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
         cap,
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
@@ -246,27 +252,28 @@ mod tests {
     fn fifo_within_single_producer() {
         let (tx, rx) = bounded(8);
         for i in 0..8 {
-            tx.send(i).unwrap();
+            assert_eq!(tx.send(i), Ok(()));
         }
         for i in 0..8 {
-            assert_eq!(rx.recv().unwrap(), i);
+            assert_eq!(rx.recv(), Ok(i));
         }
     }
 
     #[test]
     fn bounded_send_blocks_until_recv() {
         let (tx, rx) = bounded(2);
-        tx.send(1).unwrap();
-        tx.send(2).unwrap();
+        assert_eq!(tx.send(1), Ok(()));
+        assert_eq!(tx.send(2), Ok(()));
         let h = std::thread::spawn(move || {
-            tx.send(3).unwrap(); // blocks until a slot frees
+            assert_eq!(tx.send(3), Ok(())); // blocks until a slot frees
             3
         });
         std::thread::sleep(Duration::from_millis(20));
-        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv(), Ok(1));
+        // beff-analyze: allow(unwrap): join error is panic propagation, not a typed error
         assert_eq!(h.join().unwrap(), 3);
-        assert_eq!(rx.recv().unwrap(), 2);
-        assert_eq!(rx.recv().unwrap(), 3);
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
     }
 
     #[test]
@@ -280,7 +287,7 @@ mod tests {
             let tx = tx.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..PER {
-                    tx.send(p * PER + i).unwrap();
+                    assert_eq!(tx.send(p * PER + i), Ok(()));
                 }
             }));
         }
@@ -298,8 +305,10 @@ mod tests {
         }
         drop(rx);
         for h in handles {
+            // beff-analyze: allow(unwrap): join error is panic propagation, not a typed error
             h.join().unwrap();
         }
+        // beff-analyze: allow(unwrap): join error is panic propagation, not a typed error
         let mut all: Vec<u64> = consumers.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.sort_unstable();
         let want: Vec<u64> = (0..PRODUCERS as u64 * PER).collect();
@@ -309,7 +318,7 @@ mod tests {
     #[test]
     fn recv_errors_after_senders_gone() {
         let (tx, rx) = unbounded();
-        tx.send(9).unwrap();
+        assert_eq!(tx.send(9), Ok(()));
         drop(tx);
         assert_eq!(rx.recv(), Ok(9));
         assert_eq!(rx.recv(), Err(RecvError));
@@ -325,10 +334,11 @@ mod tests {
     #[test]
     fn blocked_sender_unblocks_on_receiver_drop() {
         let (tx, rx) = bounded(1);
-        tx.send(0).unwrap();
+        assert_eq!(tx.send(0), Ok(()));
         let h = std::thread::spawn(move || tx.send(1));
         std::thread::sleep(Duration::from_millis(20));
         drop(rx);
+        // beff-analyze: allow(unwrap): join error is panic propagation, not a typed error
         assert_eq!(h.join().unwrap(), Err(SendError(1)));
     }
 
@@ -340,7 +350,7 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(5)),
             Err(TryRecvError::Empty)
         );
-        tx.send(1).unwrap();
+        assert_eq!(tx.send(1), Ok(()));
         assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(1));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
@@ -353,7 +363,7 @@ mod tests {
     #[test]
     fn zero_capacity_degrades_to_one() {
         let (tx, rx) = bounded(0);
-        tx.send(1).unwrap(); // does not deadlock
+        assert_eq!(tx.send(1), Ok(())); // does not deadlock
         assert_eq!(rx.recv(), Ok(1));
     }
 
@@ -361,7 +371,7 @@ mod tests {
     fn drain_empties_queue() {
         let (tx, rx) = unbounded();
         for i in 0..5 {
-            tx.send(i).unwrap();
+            assert_eq!(tx.send(i), Ok(()));
         }
         assert_eq!(rx.drain(), vec![0, 1, 2, 3, 4]);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));

@@ -36,8 +36,20 @@ impl Condvar {
     /// Block until notified. Spurious wakeups are possible, as with any
     /// condition variable: callers re-check their predicate in a loop.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // beff-analyze: allow(unwrap): guard.inner is Some outside an active wait by construction
         let g = guard.inner.take().expect("guard present");
-        guard.inner = Some(unpoison(self.inner.wait(g)));
+        // The mutex is released for the duration of the wait, so its
+        // rank leaves the thread's lockset and re-enters on wakeup.
+        #[cfg(feature = "lock-order")]
+        if let Some(r) = guard.rank {
+            crate::order::release(r);
+        }
+        let g = unpoison(self.inner.wait(g));
+        #[cfg(feature = "lock-order")]
+        if let Some(r) = guard.rank {
+            crate::order::acquire(r);
+        }
+        guard.inner = Some(g);
     }
 
     /// Block until notified or `timeout` elapsed.
@@ -46,8 +58,17 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        // beff-analyze: allow(unwrap): guard.inner is Some outside an active wait by construction
         let g = guard.inner.take().expect("guard present");
+        #[cfg(feature = "lock-order")]
+        if let Some(rk) = guard.rank {
+            crate::order::release(rk);
+        }
         let (g, r) = unpoison(self.inner.wait_timeout(g, timeout));
+        #[cfg(feature = "lock-order")]
+        if let Some(rk) = guard.rank {
+            crate::order::acquire(rk);
+        }
         guard.inner = Some(g);
         WaitTimeoutResult { timed_out: r.timed_out() }
     }

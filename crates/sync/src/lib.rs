@@ -21,9 +21,11 @@
 pub mod channel;
 mod condvar;
 mod mutex;
+pub mod order;
 mod rwlock;
 
 pub use channel::{bounded, unbounded, Receiver, RecvError, SendError, Sender, TryRecvError};
 pub use condvar::{Condvar, WaitTimeoutResult};
 pub use mutex::{Mutex, MutexGuard};
+pub use order::Rank;
 pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -7,12 +7,17 @@
 //! any state a panicking rank left behind is either torn down with the
 //! world or repriced on the next run.
 
+use crate::order::Rank;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 
 /// Mutual exclusion with guard-returning `lock()`.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    /// Position in the lock hierarchy, if declared (see [`Rank`]).
+    /// Tracked only under the `lock-order` feature.
+    #[cfg(feature = "lock-order")]
+    rank: Option<&'static Rank>,
     inner: std::sync::Mutex<T>,
 }
 
@@ -24,11 +29,33 @@ pub struct Mutex<T: ?Sized> {
 /// mutably (`parking_lot` shape) instead of consuming it (`std` shape).
 pub struct MutexGuard<'a, T: ?Sized> {
     pub(crate) inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Rank to release when the guard drops (or a condvar wait hands
+    /// the lock back). Mirrors the owning mutex's rank.
+    #[cfg(feature = "lock-order")]
+    pub(crate) rank: Option<&'static Rank>,
 }
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::Mutex::new(value) }
+        Self {
+            #[cfg(feature = "lock-order")]
+            rank: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// A mutex participating in the lock hierarchy at `rank`. Identical
+    /// to [`Mutex::new`] unless the `lock-order` feature is on, in
+    /// which case every acquisition is order-checked (see
+    /// [`crate::order`]).
+    pub const fn ranked(rank: &'static Rank, value: T) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = rank;
+        Self {
+            #[cfg(feature = "lock-order")]
+            rank: Some(rank),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
@@ -40,18 +67,37 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: Some(unpoison(self.inner.lock())) }
+        // Order-check *before* blocking: an inverted acquisition panics
+        // deterministically instead of deadlocking intermittently.
+        #[cfg(feature = "lock-order")]
+        if let Some(r) = self.rank {
+            crate::order::acquire(r);
+        }
+        MutexGuard {
+            inner: Some(unpoison(self.inner.lock())),
+            #[cfg(feature = "lock-order")]
+            rank: self.rank,
+        }
     }
 
     /// Acquire the lock only if it is free right now.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { inner: Some(p.into_inner()) })
-            }
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        // A failed try can't deadlock, so the order check applies only
+        // to successful acquisitions.
+        #[cfg(feature = "lock-order")]
+        if let Some(r) = self.rank {
+            crate::order::acquire(r);
         }
+        Some(MutexGuard {
+            inner: Some(g),
+            #[cfg(feature = "lock-order")]
+            rank: self.rank,
+        })
     }
 
     /// Mutable access without locking (requires `&mut self`, so the
@@ -70,8 +116,9 @@ pub(crate) fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
 impl<T: ?Sized> MutexGuard<'_, T> {
     #[inline]
     pub(crate) fn std_guard(&self) -> &std::sync::MutexGuard<'_, T> {
-        // Safety of the expect: `inner` is only `None` transiently
-        // inside `Condvar::wait*`, which holds the only `&mut` borrow.
+        // `inner` is only `None` transiently inside `Condvar::wait*`,
+        // which holds the only `&mut` borrow.
+        // beff-analyze: allow(unwrap): inner is Some outside an active condvar wait by construction
         self.inner.as_ref().expect("guard present outside a condvar wait")
     }
 }
@@ -87,7 +134,17 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     #[inline]
     fn deref_mut(&mut self) -> &mut T {
+        // beff-analyze: allow(unwrap): inner is Some outside an active condvar wait by construction
         self.inner.as_mut().expect("guard present outside a condvar wait")
+    }
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(r) = self.rank {
+            crate::order::release(r);
+        }
     }
 }
 

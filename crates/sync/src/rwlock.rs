@@ -1,26 +1,55 @@
 //! A `parking_lot`-shaped reader-writer lock over `std::sync::RwLock`.
 
 use crate::mutex::unpoison;
+use crate::order::Rank;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 
 /// Reader-writer lock with guard-returning `read()`/`write()`.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    /// Position in the lock hierarchy, if declared (see [`Rank`]).
+    /// Tracked only under the `lock-order` feature. Readers and writers
+    /// are checked alike: even read-read nesting at one level deadlocks
+    /// once a writer queues between them.
+    #[cfg(feature = "lock-order")]
+    rank: Option<&'static Rank>,
     inner: std::sync::RwLock<T>,
 }
 
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(feature = "lock-order")]
+    rank: Option<&'static Rank>,
 }
 
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "lock-order")]
+    rank: Option<&'static Rank>,
 }
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::RwLock::new(value) }
+        Self {
+            #[cfg(feature = "lock-order")]
+            rank: None,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// A lock participating in the lock hierarchy at `rank`. Identical
+    /// to [`RwLock::new`] unless the `lock-order` feature is on, in
+    /// which case every acquisition is order-checked (see
+    /// [`crate::order`]).
+    pub const fn ranked(rank: &'static Rank, value: T) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = rank;
+        Self {
+            #[cfg(feature = "lock-order")]
+            rank: Some(rank),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -31,36 +60,84 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared access, blocking until no writer holds the lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard { inner: unpoison(self.inner.read()) }
+        #[cfg(feature = "lock-order")]
+        if let Some(r) = self.rank {
+            crate::order::acquire(r);
+        }
+        RwLockReadGuard {
+            inner: unpoison(self.inner.read()),
+            #[cfg(feature = "lock-order")]
+            rank: self.rank,
+        }
     }
 
     /// Acquire exclusive access, blocking until all guards are dropped.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard { inner: unpoison(self.inner.write()) }
+        #[cfg(feature = "lock-order")]
+        if let Some(r) = self.rank {
+            crate::order::acquire(r);
+        }
+        RwLockWriteGuard {
+            inner: unpoison(self.inner.write()),
+            #[cfg(feature = "lock-order")]
+            rank: self.rank,
+        }
     }
 
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                Some(RwLockReadGuard { inner: p.into_inner() })
-            }
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        let g = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-order")]
+        if let Some(r) = self.rank {
+            crate::order::acquire(r);
         }
+        Some(RwLockReadGuard {
+            inner: g,
+            #[cfg(feature = "lock-order")]
+            rank: self.rank,
+        })
     }
 
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                Some(RwLockWriteGuard { inner: p.into_inner() })
-            }
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        let g = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-order")]
+        if let Some(r) = self.rank {
+            crate::order::acquire(r);
         }
+        Some(RwLockWriteGuard {
+            inner: g,
+            #[cfg(feature = "lock-order")]
+            rank: self.rank,
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
         unpoison(self.inner.get_mut())
+    }
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(r) = self.rank {
+            crate::order::release(r);
+        }
+    }
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(r) = self.rank {
+            crate::order::release(r);
+        }
     }
 }
 

@@ -27,34 +27,25 @@ run_gate() {
     fi
 }
 
-echo "== guard: every dependency must be an in-tree path crate =="
-bad=0
-while IFS= read -r manifest; do
-    # Inside [dependencies]/[dev-dependencies]/[build-dependencies] (and
-    # [workspace.dependencies]), every entry must carry `path = ...` or
-    # `workspace = true`; anything else is a registry dependency.
-    offenders=$(awk '
-        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
-        in_deps && /^[A-Za-z0-9_-]+ *=/ {
-            if ($0 !~ /path *=/ && $0 !~ /workspace *= *true/) print FILENAME ": " $0
-        }
-    ' "$manifest")
-    if [ -n "$offenders" ]; then
-        echo "$offenders"
-        bad=1
-    fi
-done < <(find . -name Cargo.toml -not -path "./target/*")
-if [ "$bad" -ne 0 ]; then
-    echo "FAIL: non-path dependency found — the workspace must stay registry-free" >&2
-    exit 1
-fi
-echo "ok"
-
 run_gate "build (offline)" 900 \
     cargo build --release --offline --workspace
 
+# beff-analyze is the determinism & safety contract (DESIGN.md §8):
+# wall-clock/hash-order bans, unwrap budgets, SAFETY comments, the
+# static lock hierarchy, and the registry-free dependency guard that
+# used to live here as a shell loop.
+run_gate "analyze (determinism & safety contract)" 120 \
+    cargo run -q --offline -p beff-analyze --bin analyze -- --out target/analyze.verify.json
+
 run_gate "test (offline)" 900 \
     cargo test -q --offline --workspace
+
+# the dynamic half of the lock hierarchy: ranked locks panic on
+# inverted acquisition; property tests prove the checker catches it,
+# and the mpi/netsim/pfs suites run with checking live
+run_gate "lock-order (runtime hierarchy check)" 300 \
+    cargo test -q --offline -p beff-sync -p beff-mpi -p beff-netsim -p beff-pfs \
+    --features beff-sync/lock-order
 
 run_gate "mpi wakeup/scheduler stress (release: realistic race timing)" 300 \
     cargo test -q --offline --release -p beff-mpi --test stress
