@@ -10,7 +10,8 @@
 /// clock, no hasher-order iteration. (`sync` and `bench` are excluded
 /// by design: one implements timed primitives, the other measures real
 /// time.)
-pub const DETERMINISTIC_CRATES: &[&str] = &["netsim", "mpi", "pfs", "faults", "mpiio"];
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["sim", "netsim", "mpi", "pfs", "faults", "mpiio", "sweep"];
 
 /// Crates exempt from the wall-clock rule wholesale.
 ///
@@ -20,10 +21,10 @@ pub const DETERMINISTIC_CRATES: &[&str] = &["netsim", "mpi", "pfs", "faults", "m
 pub const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["sync", "bench", "analyze"];
 
 /// Individual files exempt from the wall-clock rule (workspace-relative
-/// path suffixes). `netsim/src/clock.rs` is *the* virtual-time module:
-/// it owns the only sanctioned mapping between simulated seconds and
-/// host time.
-pub const WALLCLOCK_EXEMPT_FILES: &[&str] = &["crates/netsim/src/clock.rs"];
+/// path suffixes). `sim/src/clock.rs` is *the* virtual-time module: it
+/// owns the only sanctioned mapping between simulated seconds and host
+/// time.
+pub const WALLCLOCK_EXEMPT_FILES: &[&str] = &["crates/sim/src/clock.rs"];
 
 /// Identifiers whose appearance in deterministic code means a wall
 /// clock or host-scheduling dependency.
@@ -31,6 +32,44 @@ pub const WALLCLOCK_IDENTS: &[&str] = &["Instant", "SystemTime", "sleep", "park_
 
 /// Hash-ordered container identifiers banned in deterministic crates.
 pub const HASH_ORDER_IDENTS: &[&str] = &["HashMap", "HashSet", "DefaultHasher", "RandomState"];
+
+/// Identifiers that mark x86_64 context-switch machinery. Only
+/// [`FIBER_HOME`] may contain them (the `layering` rule): the fiber
+/// engine's stack-switching `unsafe` is quarantined in the substrate
+/// crate, and no personality crate gets to grow its own.
+pub const FIBER_IDENTS: &[&str] = &["naked_asm", "global_asm", "fiber_switch"];
+
+/// The one directory allowed to contain [`FIBER_IDENTS`].
+pub const FIBER_HOME: &str = "crates/sim/";
+
+/// Substrate names that `beff-netsim` re-exports for compatibility but
+/// that `beff-mpi` must import from `beff_sim` directly (the `layering`
+/// rule). Module names and the types they export; the *model* surface
+/// (`MachineNet`, `NetParams`, `Topology`, routing, stats) is netsim's
+/// own and stays fair game.
+pub const NETSIM_INTERNAL_IDENTS: &[&str] = &[
+    "clock", "link", "resource", "rng", "units", // substrate modules
+    "Clock", "RealClock", "VClock", // clocks
+    "Link", "Degrade", "Resource", // contention primitives
+    "Rng64", "Secs", "KB", "MB", "GB", // rng + units
+];
+
+/// `beff-*` dependency allow-lists for the layered crates (the
+/// `layering` rule's manifest half; dev-dependencies count too). The
+/// substrate depends on `beff-sync` alone; `beff-check` sits directly
+/// on the substrate; and `beff-sweep` exists to prove the substrate
+/// carries a workload without `beff-mpi`/`beff-netsim`, so it may
+/// never acquire either edge. Crates not listed here are governed only
+/// by the `path-deps` rule.
+pub const DEP_ALLOWLISTS: &[(&str, &[&str])] = &[
+    ("sim", &["beff-sync"]),
+    ("check", &["beff-sim"]),
+    ("netsim", &["beff-sync", "beff-sim", "beff-json", "beff-check"]),
+    ("faults", &["beff-sim", "beff-netsim", "beff-json", "beff-check"]),
+    ("pfs", &["beff-netsim", "beff-sync", "beff-json", "beff-check"]),
+    ("mpi", &["beff-sim", "beff-netsim", "beff-faults", "beff-sync", "beff-check"]),
+    ("sweep", &["beff-sim", "beff-pfs", "beff-faults", "beff-json"]),
+];
 
 /// Per-crate `unwrap()`/`expect()` ceilings, pinned by the PR-4/PR-5
 /// panic-path audit. The budget is a ratchet: it counts every call in
@@ -40,18 +79,20 @@ pub const HASH_ORDER_IDENTS: &[&str] = &["HashMap", "HashSet", "DefaultHasher", 
 /// and `examples/`.
 pub const UNWRAP_BUDGETS: &[(&str, u32)] = &[
     ("analyze", 12),
-    ("bench", 46),
+    ("bench", 48),
     ("check", 0),
     ("core", 13),
     ("facade", 26),
     ("faults", 0),
     ("json", 7),
     ("machines", 6),
-    ("mpi", 29),
+    ("mpi", 25),
     ("mpiio", 25),
-    ("netsim", 9),
+    ("netsim", 7),
     ("pfs", 19),
     ("report", 4),
+    ("sim", 12),
+    ("sweep", 4),
     ("sync", 3),
 ];
 
@@ -78,9 +119,9 @@ pub struct LockDecl {
 /// | level | lock                         | guards                         |
 /// |-------|------------------------------|--------------------------------|
 /// | 20    | `mpi.boards`                 | collective rendezvous boards   |
-/// | 30    | `mpi.mailbox`                | one rank's mailbox state       |
+/// | 30    | `sim.port`                   | one actor's port state         |
 /// | 40    | `sched.state`                | token-scheduler ready/blocked  |
-/// | 50    | `sched.parker`               | one rank's park flag           |
+/// | 50    | `sched.parker`               | one actor's park flag          |
 /// | 60    | `pfs.files` / `pfs.disk`     | filesystem name table          |
 /// | 70    | `netsim.routes`              | one route-table shard          |
 /// | 80    | `sync.channel`               | channel queue (leaf)           |
@@ -93,21 +134,21 @@ pub const LOCK_HIERARCHY: &[LockDecl] = &[
         name: "mpi.boards",
     },
     LockDecl {
-        file_suffix: "crates/mpi/src/mailbox.rs",
+        file_suffix: "crates/sim/src/port.rs",
         receiver: "inner",
         methods: &["lock"],
         level: 30,
-        name: "mpi.mailbox",
+        name: "sim.port",
     },
     LockDecl {
-        file_suffix: "crates/mpi/src/sched.rs",
+        file_suffix: "crates/sim/src/sched.rs",
         receiver: "inner",
         methods: &["lock"],
         level: 40,
         name: "sched.state",
     },
     LockDecl {
-        file_suffix: "crates/mpi/src/sched.rs",
+        file_suffix: "crates/sim/src/sched.rs",
         receiver: "granted",
         methods: &["lock"],
         level: 50,

@@ -8,6 +8,7 @@
 
 use crate::config;
 use crate::deps;
+use crate::layering;
 use crate::rules::{self, UnwrapSite, Violation};
 use crate::source::SourceFile;
 use beff_json::{Json, ToJson};
@@ -103,11 +104,13 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<AnalyzeReport> {
         waivers_used += rules::check_hash_order(&f, &mut violations);
         waivers_used += rules::check_safety(&f, &mut violations);
         waivers_used += rules::check_lock_order(&f, &mut violations);
+        waivers_used += layering::check_source(&f, &mut violations);
         rules::collect_unwraps(&f, &mut sites);
     }
     for rel in &manifests {
         let text = std::fs::read_to_string(root.join(rel))?;
         deps::check_manifest(&rel.to_string_lossy(), &text, &mut violations);
+        layering::check_manifest(&rel.to_string_lossy(), &text, &mut violations);
     }
 
     let budgets = settle_budgets(&sites, &mut violations);

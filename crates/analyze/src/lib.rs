@@ -20,7 +20,11 @@
 //! * `lock-order` — textually nested acquisition of declared locks out
 //!   of hierarchy order (the runtime half lives in beff-sync's
 //!   `lock-order` feature);
-//! * `path-deps` — any registry dependency in any `Cargo.toml`.
+//! * `path-deps` — any registry dependency in any `Cargo.toml`;
+//! * `layering` — the crate-stack contract around `beff-sim`: fiber
+//!   machinery quarantined in `crates/sim/`, `beff-mpi` barred from
+//!   reaching substrate names through netsim's re-exports, and `beff-*`
+//!   dependency allow-lists on the layered crates' manifests.
 //!
 //! Known-good exceptions are waived in place, with a reason:
 //!
@@ -35,6 +39,7 @@
 pub mod config;
 pub mod deps;
 pub mod engine;
+pub mod layering;
 pub mod lexer;
 pub mod rules;
 pub mod source;

@@ -334,7 +334,7 @@ mod tests {
         .is_empty());
         assert!(run(
             check_wallclock,
-            "crates/netsim/src/clock.rs",
+            "crates/sim/src/clock.rs",
             "fn f() { Instant::now(); }"
         )
         .is_empty());
@@ -426,7 +426,7 @@ mod tests {
     fn lock_order_flags_inverted_nesting() {
         // granted (50) held via let, then inner (40) acquired → violation.
         let src = "fn f(&self) {\n let g = self.granted.lock();\n let st = self.inner.lock();\n}";
-        let v = run(check_lock_order, "crates/mpi/src/sched.rs", src);
+        let v = run(check_lock_order, "crates/sim/src/sched.rs", src);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("sched.state"));
         assert_eq!(v[0].line, 3);
@@ -436,22 +436,22 @@ mod tests {
     fn lock_order_accepts_increasing_and_sequential() {
         // Increasing nesting is fine…
         let inc = "fn f(&self) {\n let st = self.inner.lock();\n let g = self.granted.lock();\n}";
-        assert!(run(check_lock_order, "crates/mpi/src/sched.rs", inc).is_empty());
+        assert!(run(check_lock_order, "crates/sim/src/sched.rs", inc).is_empty());
         // …and a statement-temporary guard dies at the `;`.
         let seq = "fn f(&self) {\n self.granted.lock().x = 1;\n let st = self.inner.lock();\n}";
-        assert!(run(check_lock_order, "crates/mpi/src/sched.rs", seq).is_empty());
+        assert!(run(check_lock_order, "crates/sim/src/sched.rs", seq).is_empty());
     }
 
     #[test]
     fn lock_order_flags_same_level_reacquisition() {
         let src = "fn f(&self) {\n let a = self.inner.lock();\n let b = self.inner.lock();\n}";
-        let v = run(check_lock_order, "crates/mpi/src/sched.rs", src);
+        let v = run(check_lock_order, "crates/sim/src/sched.rs", src);
         assert_eq!(v.len(), 1, "self-deadlock on one std mutex");
     }
 
     #[test]
     fn lock_order_let_guard_dies_with_block() {
         let src = "fn f(&self) {\n { let g = self.granted.lock(); }\n let st = self.inner.lock();\n}";
-        assert!(run(check_lock_order, "crates/mpi/src/sched.rs", src).is_empty());
+        assert!(run(check_lock_order, "crates/sim/src/sched.rs", src).is_empty());
     }
 }

@@ -3,11 +3,14 @@
 //! and gates the residuals.
 //!
 //! Usage:
-//!   `calibrate -- --check [--tolerance 0.25] [--out results/calibration.json]`
+//!   `calibrate -- --check [--tolerance 0.25] [--out results/calibration.json]
+//!                 [--golden results/calibration.json]`
 //!       Replay every Table 1 row on the catalog constants, write the
 //!       residual report, and exit non-zero if any gated metric strays
 //!       beyond the tolerance or a shape claim breaks. This is the CI
-//!       gate `scripts/verify.sh` runs (no refit).
+//!       gate `scripts/verify.sh` runs (no refit). `--golden FILE`
+//!       additionally requires the report to match a committed golden
+//!       byte-for-byte (the refactor-inertness gate).
 //!   `calibrate -- --fit [group ...]`
 //!       Coordinate descent over the named fit groups (default: all);
 //!       prints the fitted constants to paste into `crates/machines`.
@@ -94,7 +97,16 @@ fn run_check() -> bool {
 
     let text = beff_json::to_string_pretty(&report);
     beff_json::validate(&text).expect("calibration JSON must be well-formed");
-    std::fs::write(&out, format!("{text}\n")).expect("write calibration report");
+    let text = format!("{text}\n");
+    std::fs::write(&out, &text).expect("write calibration report");
+    if let Some(golden) = arg_after("--golden") {
+        let want = std::fs::read_to_string(&golden).expect("read golden calibration report");
+        if text != want {
+            eprintln!("calibrate: report is not byte-identical to golden {golden}");
+            return false;
+        }
+        println!("calibrate: byte-identical to golden {golden}");
+    }
     println!(
         "\nwrote {out}: {} ({} breaches)",
         if report.pass() { "PASS" } else { "FAIL" },

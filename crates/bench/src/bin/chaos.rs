@@ -2,11 +2,14 @@
 //! the resilient driver and write the stability/harness report.
 //!
 //! Usage:
-//!   `chaos [--seed N] [--out results/chaos.json] [--strict]`
+//!   `chaos [--seed N] [--out results/chaos.json] [--golden FILE] [--strict]`
 //!
 //! * the fault seed defaults to `0xC4A05` and is overridable by
 //!   `--seed` or the `BEFF_FAULT_SEED` environment variable (the same
 //!   replay knob every fault plan honors);
+//! * `--golden FILE` compares this run's serialized report byte-for-
+//!   byte against a committed golden (the refactor-inertness gate:
+//!   under the default seed the report must never drift);
 //! * exit is non-zero when a **harness invariant** breaks (a scenario
 //!   hangs — impossible by construction, but this is where it would
 //!   surface — replay is not byte-identical, a severity family is not
@@ -71,8 +74,18 @@ fn main() {
     if let Some(dir) = std::path::Path::new(&out).parent() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
-    std::fs::write(&out, beff_json::to_string_pretty(&report)).expect("write chaos report");
+    let text = beff_json::to_string_pretty(&report);
+    std::fs::write(&out, &text).expect("write chaos report");
     println!("chaos report ({} scenarios, seed {seed:#x}) -> {out}", report.scenarios.len());
+
+    if let Some(golden) = arg_after("--golden") {
+        let want = std::fs::read_to_string(&golden).expect("read golden chaos report");
+        if text != want {
+            eprintln!("chaos: report is not byte-identical to golden {golden}");
+            std::process::exit(1);
+        }
+        println!("chaos: byte-identical to golden {golden}");
+    }
 
     if !report.pass() {
         eprintln!("chaos: HARNESS INVARIANT VIOLATED");

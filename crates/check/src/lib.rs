@@ -6,7 +6,7 @@
 //! reproduce exactly with no shrinking machinery: the harness prints
 //! the failing seed, and re-running with `BEFF_CHECK_SEED=<seed>`
 //! replays that single case. Generation is driven by the workspace's
-//! own xoshiro256** generator ([`beff_netsim::rng::Rng64`]), the same
+//! own xoshiro256** generator ([`beff_sim::rng::Rng64`]), the same
 //! one the benchmark uses for pattern permutations, so "random" test
 //! data and "random" benchmark data share one engine.
 //!
@@ -24,7 +24,7 @@
 //! * `BEFF_CHECK_CASES=n` — override the case count for every property.
 //! * `BEFF_CHECK_SEED=0x…` — replay a single case with that exact seed.
 
-use beff_netsim::rng::Rng64;
+use beff_sim::rng::Rng64;
 use std::ops::RangeInclusive;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 

@@ -134,9 +134,16 @@ impl FaultSpec {
     /// and consumed in a fixed class order, so the same spec on the
     /// same topology always yields the same plan.
     pub fn materialize(&self, net: &MachineNet) -> FaultPlan {
+        self.materialize_dims(net.procs(), net.links().len())
+    }
+
+    /// [`materialize`](Self::materialize) against bare dimensions.
+    /// The plan only ever depends on the topology through its actor
+    /// and link counts, so non-network workloads (e.g. the PFS storage
+    /// sweep, which has clients but no wire) can draw the identical
+    /// schedule without a `MachineNet` in hand.
+    pub fn materialize_dims(&self, procs: usize, num_links: usize) -> FaultPlan {
         let mut g = Gen::new(self.seed);
-        let procs = net.procs();
-        let num_links = net.links().len();
         let sev = self.severity;
 
         // Link degradation: the multiplier is monotone in severity so

@@ -30,7 +30,8 @@ use crate::message::{Envelope, Payload, RecvInfo, Tag, COLLECTIVE_BASE};
 use crate::sched::SimScheduler;
 use crate::wire;
 use beff_faults::{BeffError, FaultSession};
-use beff_netsim::{MachineNet, Secs};
+use beff_netsim::MachineNet;
+use beff_sim::Secs;
 use beff_sync::{Mutex, Rank};
 use std::cell::RefCell;
 

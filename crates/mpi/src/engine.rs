@@ -9,7 +9,8 @@
 //! 3. whether benchmark payloads are materialized (`copy_data`).
 
 use beff_faults::FaultSession;
-use beff_netsim::{Clock, MachineNet, RealClock, Secs, VClock};
+use beff_netsim::MachineNet;
+use beff_sim::{Clock, RealClock, Secs, VClock};
 use std::sync::Arc;
 
 /// World-level engine configuration, shared by all ranks.

@@ -33,14 +33,18 @@
 pub mod collectives;
 pub mod comm;
 pub mod engine;
-#[cfg(target_arch = "x86_64")]
-pub(crate) mod fiber;
 pub mod mailbox;
 pub mod message;
 pub mod runtime;
-pub mod sched;
 pub mod topology;
 pub mod wire;
+
+/// The token scheduler — re-exported from the `beff-sim` substrate,
+/// where it moved when the workload-agnostic core was extracted. Kept
+/// as a module so `beff_mpi::sched::SimScheduler` paths stay valid.
+pub mod sched {
+    pub use beff_sim::sched::*;
+}
 
 pub use beff_faults::{BeffError, FaultSession};
 pub use collectives::ReduceOp;

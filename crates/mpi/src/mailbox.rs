@@ -1,18 +1,11 @@
 //! Per-rank mailboxes with MPI-style two-queue matching.
 //!
-//! Each rank owns one [`Mailbox`] holding two structures:
-//!
-//! * an *unexpected-message* queue: envelopes that arrived before any
-//!   matching receive was posted, in arrival order;
-//! * a *posted-receive* list: pending receives, each with a ticket and
-//!   a slot the matching envelope is delivered into.
-//!
-//! A push first tries to complete the oldest open posted receive it
-//! matches ([`PushOutcome::Matched`] — the only case that wakes
-//! anyone); otherwise it appends to the unexpected queue *silently*
-//! ([`PushOutcome::Queued`]). Receivers scan the unexpected queue once,
-//! then post and sleep — no rescanning of the whole queue per wakeup,
-//! and no wakeups at all for messages nobody is waiting on.
+//! The queue mechanism — unexpected-message queue, posted-receive
+//! list, oldest-ticket matching, targeted wakeups, poison — lives in
+//! the substrate as the generic [`beff_sim::port::Port`]; this module
+//! is the MPI instantiation: a [`Mailbox`] is a `Port<Envelope>`
+//! matched by the MPI receive pattern ([`Match`]: communicator
+//! context exact, source and tag each either exact or wildcard).
 //!
 //! MPI *non-overtaking* holds by construction: a receive only posts
 //! after finding no match in the unexpected queue, so every envelope
@@ -23,9 +16,9 @@
 //! between the same pair with the same tag complete in order.
 
 use crate::message::{Envelope, Tag};
-use beff_sync::{Condvar, Mutex};
-use std::collections::VecDeque;
-use std::time::Duration;
+use beff_sim::port::{Message, Port};
+
+pub use beff_sim::port::PushOutcome;
 
 /// Matching pattern for a receive.
 #[derive(Debug, Clone, Copy)]
@@ -50,216 +43,25 @@ impl Match {
     }
 }
 
-/// What a push did — drives the targeted-wakeup protocol: only
-/// `Matched` means a receiver is waiting on this envelope.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PushOutcome {
-    /// Delivered straight into a posted receive's slot.
-    Matched,
-    /// Nobody was waiting; appended to the unexpected queue (no wakeup).
-    Queued,
-}
+impl Message for Envelope {
+    type Filter = Match;
 
-#[derive(Debug)]
-struct Posted {
-    ticket: u64,
-    m: Match,
-    delivered: Option<Envelope>,
-}
-
-#[derive(Debug, Default)]
-struct Inner {
-    unexpected: VecDeque<Envelope>,
-    posted: Vec<Posted>,
-    next_ticket: u64,
-    /// Set when the world aborts (a rank panicked); wakes blocked
-    /// receivers so they do not deadlock on a dead peer.
-    poisoned: bool,
-}
-
-impl Inner {
-    fn take_unexpected(&mut self, m: Match) -> Option<Envelope> {
-        let pos = self.unexpected.iter().position(|e| m.matches(e))?;
-        Some(self.unexpected.remove(pos).expect("position just found"))
-    }
-
-    fn post(&mut self, m: Match) -> u64 {
-        let ticket = self.next_ticket;
-        self.next_ticket += 1;
-        self.posted.push(Posted { ticket, m, delivered: None });
-        ticket
-    }
-
-    /// Remove the slot for `ticket`, returning its delivery if any.
-    fn remove_slot(&mut self, ticket: u64) -> Option<Envelope> {
-        let pos = self.posted.iter().position(|p| p.ticket == ticket)?;
-        self.posted.swap_remove(pos).delivered
+    #[inline]
+    fn admits(filter: &Match, msg: &Envelope) -> bool {
+        filter.matches(msg)
     }
 }
 
-/// Lock-hierarchy position of a rank's mailbox (DESIGN.md §8): below
-/// the scheduler locks — senders finish their mailbox transaction
-/// before touching the token scheduler.
-static MAILBOX_RANK: beff_sync::Rank = beff_sync::Rank::new(30, "mpi.mailbox");
-
-/// Two-queue matching mailbox + wakeup for one rank.
-#[derive(Debug)]
-pub struct Mailbox {
-    inner: Mutex<Inner>,
-    cond: Condvar,
-}
-
-impl Default for Mailbox {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Mailbox {
-    pub fn new() -> Self {
-        Self {
-            inner: Mutex::ranked(&MAILBOX_RANK, Inner::default()),
-            cond: Condvar::new(),
-        }
-    }
-
-    /// Deliver an envelope (called from the sender's thread). Wakes
-    /// waiters only on [`PushOutcome::Matched`].
-    pub fn push(&self, env: Envelope) -> PushOutcome {
-        let mut g = self.inner.lock();
-        if let Some(slot) = g
-            .posted
-            .iter_mut()
-            .filter(|p| p.delivered.is_none() && p.m.matches(&env))
-            .min_by_key(|p| p.ticket)
-        {
-            slot.delivered = Some(env);
-            drop(g);
-            self.cond.notify_all();
-            return PushOutcome::Matched;
-        }
-        g.unexpected.push_back(env);
-        PushOutcome::Queued
-    }
-
-    /// Abort: wake every blocked receiver with a panic.
-    pub fn poison(&self) {
-        self.inner.lock().poisoned = true;
-        self.cond.notify_all();
-    }
-
-    /// Has the world been poisoned?
-    pub fn is_poisoned(&self) -> bool {
-        self.inner.lock().poisoned
-    }
-
-    fn panic_poisoned() -> ! {
-        // Typed so `World::try_run` can report "a peer died" as a value
-        // instead of tearing the driver down.
-        beff_faults::BeffError::PeerFailed.raise()
-    }
-
-    /// Blocking receive of the first envelope matching `m` (unexpected
-    /// arrivals first, in arrival order, which preserves per-sender
-    /// ordering). Used in real mode; sim mode drives the nonblocking
-    /// pieces below under the token scheduler.
-    ///
-    /// Panics if the world is poisoned (another rank died), so a failed
-    /// run aborts instead of deadlocking.
-    pub fn recv(&self, m: Match) -> Envelope {
-        let mut g = self.inner.lock();
-        if let Some(env) = g.take_unexpected(m) {
-            return env;
-        }
-        if g.poisoned {
-            Self::panic_poisoned();
-        }
-        let ticket = g.post(m);
-        loop {
-            self.cond.wait(&mut g);
-            if g.posted.iter().any(|p| p.ticket == ticket && p.delivered.is_some()) {
-                return g.remove_slot(ticket).expect("delivery just observed");
-            }
-            if g.poisoned {
-                g.remove_slot(ticket);
-                Self::panic_poisoned();
-            }
-        }
-    }
-
-    /// Like [`recv`](Self::recv) but gives up after `timeout` (used by
-    /// deadlock-detecting tests; real mode only). Returns `None` on
-    /// timeout or poison.
-    pub fn recv_timeout(&self, m: Match, timeout: Duration) -> Option<Envelope> {
-        // beff-analyze: allow(wall-clock): real-mode-only API; sim worlds never call this
-        let deadline = std::time::Instant::now() + timeout;
-        let mut g = self.inner.lock();
-        if let Some(env) = g.take_unexpected(m) {
-            return Some(env);
-        }
-        if g.poisoned {
-            return None;
-        }
-        let ticket = g.post(m);
-        loop {
-            let timed_out = self.cond.wait_until(&mut g, deadline).timed_out();
-            // Check the slot even on timeout: a push may have completed
-            // the match as the deadline expired, and that envelope must
-            // not be lost.
-            if g.posted.iter().any(|p| p.ticket == ticket && p.delivered.is_some()) {
-                return g.remove_slot(ticket);
-            }
-            if g.poisoned || timed_out {
-                g.remove_slot(ticket);
-                return None;
-            }
-        }
-    }
-
-    // ----- nonblocking pieces for the sim-mode token scheduler ----------
-
-    /// Take a matching envelope from the unexpected queue, if any.
-    pub fn try_recv(&self, m: Match) -> Option<Envelope> {
-        self.inner.lock().take_unexpected(m)
-    }
-
-    /// Post a receive and return its ticket. The caller must have just
-    /// tried [`try_recv`](Self::try_recv) (the non-overtaking argument
-    /// relies on the unexpected queue holding no match at post time).
-    pub fn post(&self, m: Match) -> u64 {
-        self.inner.lock().post(m)
-    }
-
-    /// Remove the posted slot for `ticket`, returning the delivered
-    /// envelope if a push completed it.
-    pub fn take_delivered(&self, ticket: u64) -> Option<Envelope> {
-        self.inner.lock().remove_slot(ticket)
-    }
-
-    // ----- probes / diagnostics -----------------------------------------
-
-    /// Nonblocking probe: does an *unclaimed* matching message exist?
-    /// (Envelopes already delivered to a posted receive are spoken for.)
-    pub fn probe(&self, m: Match) -> bool {
-        self.inner.lock().unexpected.iter().any(|e| m.matches(e))
-    }
-
-    /// Number of envelopes held (unexpected + delivered-but-untaken).
-    pub fn len(&self) -> usize {
-        let g = self.inner.lock();
-        g.unexpected.len() + g.posted.iter().filter(|p| p.delivered.is_some()).count()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
+/// Two-queue matching mailbox + wakeup for one rank: the MPI
+/// instantiation of the substrate's typed port.
+pub type Mailbox = Port<Envelope>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::message::Payload;
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn env(ctx: u32, src: usize, tag: Tag) -> Envelope {
         Envelope { ctx, src, tag, head: 0.0, arrival: 0.0, payload: Payload::Len(0) }
@@ -394,6 +196,7 @@ mod tests {
 mod poison_tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn poison_wakes_blocked_receiver_with_panic() {

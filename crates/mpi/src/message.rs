@@ -7,7 +7,7 @@
 //! messages (collective reductions, control data) always carry real
 //! bytes.
 
-use beff_netsim::Secs;
+use beff_sim::Secs;
 
 /// Message tag. Tags below [`COLLECTIVE_BASE`] are free for user
 /// code; the collective algorithms use the space above it.

@@ -19,7 +19,7 @@
 use crate::comm::{Comm, WorldShared};
 use crate::engine::EngineCfg;
 #[cfg(target_arch = "x86_64")]
-use crate::fiber::{init_fiber, FiberStack, STACK_SIZE};
+use beff_sim::fiber::{init_fiber, FiberStack, STACK_SIZE};
 use beff_faults::{BeffError, FaultSession};
 use beff_netsim::MachineNet;
 use beff_sync::{channel, Condvar, Mutex};
@@ -117,7 +117,7 @@ fn into_typed<R>(settled: Result<Vec<R>, Box<dyn Any + Send>>) -> Result<Vec<R>,
 
 /// Run a simulated world on the calling thread with one fiber per rank
 /// (the fast path: a token handoff is a user-space stack switch instead
-/// of a futex round trip — see [`crate::fiber`]). Semantics are
+/// of a futex round trip — see [`beff_sim::fiber`]). Semantics are
 /// identical to the thread launcher: same FIFO token order, same
 /// deadlock/abort protocol, bit-identical results.
 #[cfg(target_arch = "x86_64")]

@@ -12,29 +12,31 @@
 //! * contention emerges from link reservation: two messages crossing the
 //!   same wire at the same virtual time serialize.
 //!
-//! The same crate also provides [`resource::Resource`], the generic
-//! next-free-time reservation primitive reused by the parallel-filesystem
-//! simulator (`beff-pfs`) for disks and I/O servers.
+//! The mechanism layer — virtual clocks, fair-share [`Resource`]s,
+//! priced [`Link`]s, the deterministic RNG — lives in `beff-sim`
+//! (the workload-agnostic simulation substrate); this crate re-exports
+//! those names at their historical paths and layers the *network
+//! semantics* on top: topologies, routing, LogGP transfer pricing.
 //!
 //! Nothing here depends on the MPI layer: this crate answers only
 //! "what does it cost", never "who is allowed to proceed".
 
-pub mod clock;
-pub mod link;
+// Substrate modules, re-exported at their pre-extraction paths so
+// `beff_netsim::units::fmt_bytes`, `beff_netsim::rng::Rng64`, … keep
+// resolving for every downstream crate.
+pub use beff_sim::clock;
+pub use beff_sim::link;
+pub use beff_sim::resource;
+pub use beff_sim::rng;
+pub use beff_sim::units;
+
 pub mod model;
-pub mod resource;
-pub mod rng;
 pub mod stats;
 pub mod routing;
 pub mod topology;
-pub mod units;
 
-pub use clock::{Clock, RealClock, VClock};
-pub use link::{Degrade, Link};
+pub use beff_sim::{Clock, Degrade, Link, RealClock, Resource, Rng64, Secs, VClock, GB, KB, MB};
 pub use model::{Egress, MachineNet, NetParams, Tier, Transfer};
-pub use resource::Resource;
-pub use rng::Rng64;
 pub use stats::{traffic_report, KindStats, TrafficReport};
 pub use routing::{RouteTable, SplitRoute};
 pub use topology::{LinkKind, Placement, Topology};
-pub use units::{Secs, GB, KB, MB};

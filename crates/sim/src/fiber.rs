@@ -32,13 +32,13 @@ use std::arch::naked_asm;
 /// Default fiber stack size. Generous for the benchmark closures (heap
 /// buffers, shallow call depth) while staying lazily committed: the
 /// allocator mmaps at this size, so untouched pages cost no RSS.
-pub(crate) const STACK_SIZE: usize = 1 << 20;
+pub const STACK_SIZE: usize = 1 << 20;
 
 const STACK_ALIGN: usize = 64;
 const CANARY: u64 = 0xBEEF_F1BE_57AC_CA4D;
 
 /// One heap-allocated fiber stack with a deep-end canary.
-pub(crate) struct FiberStack {
+pub struct FiberStack {
     base: *mut u8,
     size: usize,
 }
@@ -51,7 +51,7 @@ unsafe impl Send for FiberStack {}
 unsafe impl Sync for FiberStack {}
 
 impl FiberStack {
-    pub(crate) fn new(size: usize) -> Self {
+    pub fn new(size: usize) -> Self {
         let layout = Layout::from_size_align(size, STACK_ALIGN).expect("stack layout");
         // SAFETY: `layout` has non-zero size (STACK_SIZE) and valid
         // alignment; the null result is checked on the next line.
@@ -73,7 +73,7 @@ impl FiberStack {
 
     /// Did the fiber ever scribble over the deep end? (No guard pages
     /// on heap stacks, so this is the overflow tripwire.)
-    pub(crate) fn canary_intact(&self) -> bool {
+    pub fn canary_intact(&self) -> bool {
         // SAFETY: reads the canary word written by `new` inside the
         // live allocation; fibers never legally reach this deep.
         unsafe { (self.base as *const u64).read() == CANARY }
@@ -93,7 +93,7 @@ impl Drop for FiberStack {
 /// rank. Only the driving host thread ever reads or writes these (the
 /// narrow contract above); the raw cells exist because `WorldShared`
 /// must stay `Sync` for the thread-mode scheduler.
-pub(crate) struct FiberSet {
+pub struct FiberSet {
     host_sp: std::cell::UnsafeCell<*mut u8>,
     sps: Vec<std::cell::UnsafeCell<*mut u8>>,
 }
@@ -106,7 +106,7 @@ unsafe impl Send for FiberSet {}
 unsafe impl Sync for FiberSet {}
 
 impl FiberSet {
-    pub(crate) fn new(n: usize) -> Self {
+    pub fn new(n: usize) -> Self {
         Self {
             host_sp: std::cell::UnsafeCell::new(std::ptr::null_mut()),
             sps: (0..n).map(|_| std::cell::UnsafeCell::new(std::ptr::null_mut())).collect(),
@@ -114,7 +114,7 @@ impl FiberSet {
     }
 
     /// Install a freshly initialized fiber (see [`init_fiber`]).
-    pub(crate) fn install(&self, rank: usize, sp: *mut u8) {
+    pub fn install(&self, rank: usize, sp: *mut u8) {
         // SAFETY: install happens on the driving thread before any
         // resume; no other reference to the cell exists yet.
         unsafe { *self.sps[rank].get() = sp };
@@ -125,7 +125,7 @@ impl FiberSet {
     /// # Safety
     /// `rank` must hold an initialized, non-finished fiber, and the
     /// caller must be the driving host thread.
-    pub(crate) unsafe fn resume(&self, rank: usize) {
+    pub unsafe fn resume(&self, rank: usize) {
         // SAFETY: caller contract (driving host thread, initialized
         // fiber); the cells are written only by this thread.
         unsafe { fiber_switch(self.host_sp.get(), self.sps[rank].get()) };
@@ -135,7 +135,7 @@ impl FiberSet {
     ///
     /// # Safety
     /// Must be called from the fiber registered at `rank`.
-    pub(crate) unsafe fn to_host(&self, rank: usize) {
+    pub unsafe fn to_host(&self, rank: usize) {
         // SAFETY: caller contract (called from the fiber registered at
         // `rank`); the host slot was saved by the matching resume.
         unsafe { fiber_switch(self.sps[rank].get(), self.host_sp.get()) };
@@ -150,7 +150,7 @@ impl FiberSet {
 /// The caller must keep `stack` alive and drive the fiber to
 /// completion (its final switch) before dropping it; `body`'s borrows
 /// must outlive the run (the runtime guarantees both).
-pub(crate) unsafe fn init_fiber(stack: &FiberStack, body: Box<dyn FnOnce() + '_>) -> *mut u8 {
+pub unsafe fn init_fiber(stack: &FiberStack, body: Box<dyn FnOnce() + '_>) -> *mut u8 {
     // SAFETY: lifetime erasure only — the fiber completes before the
     // borrowed data dies (runtime contract, see # Safety above), and
     // the box layout is lifetime-free.

@@ -1,0 +1,57 @@
+//! # beff-sim
+//!
+//! The workload-agnostic deterministic-simulation substrate under the
+//! b_eff stack. Everything in this crate is *mechanism*, not policy:
+//! it knows nothing about MPI ranks, message envelopes, network
+//! topologies, or filesystems. Those are personalities layered on top
+//! (`beff-mpi`, `beff-netsim`, `beff-pfs`).
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`units`] / [`clock`] — virtual seconds and the `Clock` trait with
+//!   its simulated ([`VClock`]) and wall-clock ([`RealClock`]) twins.
+//! - [`rng`] — the one deterministic RNG ([`Rng64`], xoshiro256**) the
+//!   whole workspace shares; `beff-check` and the fault planner seed
+//!   from it.
+//! - [`resource`] / [`link`] — next-free-time reservation with optional
+//!   fair-share contention, and the priced link with fault windows.
+//! - [`error`] — typed simulation faults ([`BeffError`]) raised as
+//!   panics and caught at actor/world boundaries.
+//! - [`sched`] — the round-robin token scheduler ([`SimScheduler`])
+//!   with its two interchangeable mechanisms (parked threads, x86_64
+//!   fibers) and the [`SchedAudit`] token-accounting invariant.
+//! - [`port`] — the two-queue matching mailbox generalized to typed
+//!   [`Port`]s over any [`Message`] type; MPI's rank mailbox is one
+//!   instantiation.
+//! - [`actors`] — a minimal actor runtime ([`try_run_actors`]) that
+//!   runs `n` closures under the token scheduler with typed-fault
+//!   isolation, for workloads that don't want the MPI world machinery.
+//!
+//! Determinism contract: with a fixed program, every run schedules
+//! actors in the same total order and advances virtual time through
+//! the same float operations, so results replay byte-identically.
+//! `beff-analyze` machine-enforces the layering (only this crate may
+//! contain fiber/context-switch unsafe code; `beff-mpi` may not reach
+//! simulation internals through `beff-netsim`).
+
+pub mod actors;
+pub mod clock;
+pub mod error;
+#[cfg(target_arch = "x86_64")]
+pub mod fiber;
+pub mod link;
+pub mod port;
+pub mod resource;
+pub mod rng;
+pub mod sched;
+pub mod units;
+
+pub use actors::{run_actors, try_run_actors, ActorCtx, ActorId};
+pub use clock::{Clock, RealClock, VClock};
+pub use error::{silence_fault_panics, BeffError};
+pub use link::{Degrade, Link};
+pub use port::{Message, Port, PushOutcome};
+pub use resource::Resource;
+pub use rng::Rng64;
+pub use sched::{SchedAudit, SimScheduler};
+pub use units::{Secs, GB, KB, MB};

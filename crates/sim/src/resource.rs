@@ -23,7 +23,7 @@
 //! billed `duration * factor` instead of `duration`, so K simultaneous
 //! streams serialize at `rate / factor` while a lone stream still sees
 //! the full rate. The factor is a per-machine calibration constant
-//! ([`crate::model::NetParams::contention`]); `1.0` reproduces plain
+//! (`NetParams::contention` in beff-netsim); `1.0` reproduces plain
 //! FIFO packing bit-for-bit.
 //!
 //! The scheme is work-conserving (the resource never idles while work

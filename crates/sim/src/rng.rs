@@ -122,6 +122,38 @@ mod tests {
         assert_ne!(r.next_u64() | r.next_u64() | r.next_u64(), 0);
     }
 
+    /// Golden stream: the exact first draws for fixed seeds, pinned so
+    /// the RNG consolidation (this is now the *only* deterministic RNG
+    /// in the workspace — `beff-check`, the fault planner and the
+    /// benchmark shufflers all seed from it) can never silently change
+    /// the sequence existing seeds replay.
+    #[test]
+    fn golden_stream_is_pinned() {
+        let mut r = Rng64::new(0);
+        assert_eq!(
+            [r.next_u64(), r.next_u64(), r.next_u64(), r.next_u64()],
+            [
+                0x99ec_5f36_cb75_f2b4,
+                0xbf6e_1f78_4956_452a,
+                0x1a5f_849d_4933_e6e0,
+                0x6aa5_94f1_262d_2d2c,
+            ],
+        );
+        let mut r = Rng64::new(42);
+        assert_eq!(
+            [r.next_u64(), r.next_u64(), r.next_u64(), r.next_u64()],
+            [
+                0x1578_0b2e_0c2e_c716,
+                0x6104_d986_6d11_3a7e,
+                0xae17_5332_39e4_99a1,
+                0xecb8_ad47_03b3_60a1,
+            ],
+        );
+        let mut r = Rng64::new(0xBEEF);
+        let golden: u64 = (0..1000).map(|_| r.next_u64()).fold(0, u64::wrapping_add);
+        assert_eq!(golden, 0xdd76_7347_8b5d_d7b9, "1000-draw checksum moved");
+    }
+
     #[test]
     fn below_roughly_uniform() {
         let mut r = Rng64::new(11);

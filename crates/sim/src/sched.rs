@@ -2,7 +2,7 @@
 //!
 //! Sim mode prices time with virtual clocks, so nothing is gained by
 //! letting rank threads run concurrently — and plenty is lost: link
-//! [`Resource`](beff_netsim::Resource) reservations would follow host
+//! [`Resource`](crate::resource::Resource) reservations would follow host
 //! thread scheduling, making runs causally consistent but not
 //! bit-identical, and every mailbox push would pay a condvar broadcast.
 //!
@@ -40,7 +40,7 @@
 
 #[cfg(target_arch = "x86_64")]
 use crate::fiber::FiberSet;
-use beff_faults::BeffError;
+use crate::error::BeffError;
 use beff_sync::{Condvar, Mutex, Rank};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -178,7 +178,7 @@ impl SimScheduler {
     /// [`drive_fibers`](Self::drive_fibers) after the runtime installs
     /// one initialized fiber per rank.
     #[cfg(target_arch = "x86_64")]
-    pub(crate) fn new_fibers(n: usize) -> Self {
+    pub fn new_fibers(n: usize) -> Self {
         assert!(n > 0);
         let mut st = new_state(n);
         // No out-of-band grant here: rank 0 starts from the ready
@@ -194,7 +194,7 @@ impl SimScheduler {
 
     /// The fiber set to install stacks into (fiber mode only).
     #[cfg(target_arch = "x86_64")]
-    pub(crate) fn fibers(&self) -> &FiberSet {
+    pub fn fibers(&self) -> &FiberSet {
         let Mech::Fiber(fs) = &self.mech else {
             panic!("fibers() on a thread-parking scheduler")
         };
@@ -287,6 +287,45 @@ impl SimScheduler {
         }
     }
 
+    /// Cooperative rotation for actor workloads: the token holder
+    /// re-queues itself behind every currently ready rank and hands
+    /// the token on. No-op when nobody else is ready — the holder
+    /// keeps the token rather than parking for a grant no peer will
+    /// ever issue. Unlike [`yield_blocked`](Self::yield_blocked) the
+    /// rank stays runnable, so this can never deadlock the world.
+    pub fn yield_turn(&self, rank: usize) {
+        match &self.mech {
+            Mech::Park(parkers) => {
+                {
+                    let mut st = self.inner.lock();
+                    if st.ready.is_empty() || st.aborted || st.deadlocked {
+                        return;
+                    }
+                    st.ready.push_back(rank);
+                    self.grant_next(&mut st, parkers);
+                }
+                self.wait_turn(rank);
+            }
+            #[cfg(target_arch = "x86_64")]
+            Mech::Fiber(fs) => {
+                {
+                    let mut st = self.inner.lock();
+                    if st.ready.is_empty() || st.aborted || st.deadlocked {
+                        return;
+                    }
+                    st.ready.push_back(rank);
+                }
+                // SAFETY: called from rank's own fiber (scheduler
+                // contract); the drive loop resumes us from the ready
+                // queue we just joined.
+                unsafe { fs.to_host(rank) };
+                if self.inner.lock().deadlocked {
+                    BeffError::Deadlock.raise();
+                }
+            }
+        }
+    }
+
     /// The token holder's closure returned: record it and (thread mode)
     /// hand the token on. Fiber mode suspends later, via
     /// [`fiber_exit`](Self::fiber_exit), after the rank's result is
@@ -364,7 +403,7 @@ impl SimScheduler {
     /// path skipped [`finish`](Self::finish). Never returns control to
     /// the fiber: the drive loop drops finished ranks.
     #[cfg(target_arch = "x86_64")]
-    pub(crate) fn fiber_exit(&self, rank: usize) {
+    pub fn fiber_exit(&self, rank: usize) {
         let Mech::Fiber(fs) = &self.mech else {
             panic!("fiber_exit on a thread-parking scheduler")
         };
@@ -387,7 +426,7 @@ impl SimScheduler {
     /// rank 0 first, then the ready queue; on deadlock or abort, every
     /// unfinished fiber is resumed (in rank order) so it can unwind.
     #[cfg(target_arch = "x86_64")]
-    pub(crate) fn drive_fibers(&self) {
+    pub fn drive_fibers(&self) {
         let Mech::Fiber(fs) = &self.mech else {
             panic!("drive_fibers on a thread-parking scheduler")
         };

@@ -44,17 +44,18 @@ run_gate "test (offline)" 900 \
 # inverted acquisition; property tests prove the checker catches it,
 # and the mpi/netsim/pfs suites run with checking live
 run_gate "lock-order (runtime hierarchy check)" 300 \
-    cargo test -q --offline -p beff-sync -p beff-mpi -p beff-netsim -p beff-pfs \
+    cargo test -q --offline -p beff-sync -p beff-sim -p beff-mpi -p beff-netsim -p beff-pfs \
     --features beff-sync/lock-order
 
 run_gate "mpi wakeup/scheduler stress (release: realistic race timing)" 300 \
     cargo test -q --offline --release -p beff-mpi --test stress
 
 # every gated Table-1 metric must sit within the tolerance of the
-# paper value on the committed machine constants; shape claims exact
+# paper value on the committed machine constants; shape claims exact;
+# the report must replay byte-identically against the committed golden
 run_gate "calibration residual gate (no refit)" 600 \
     cargo run -q --offline --release -p beff-bench --bin calibrate -- \
-    --check --out target/calibration.verify.json
+    --check --out target/calibration.verify.json --golden results/calibration.json
 
 scratch="target/BENCH_SIM.verify.json"
 run_gate "perf baseline (quick sweeps, scratch output)" 600 \
@@ -62,9 +63,19 @@ run_gate "perf baseline (quick sweeps, scratch output)" 600 \
 
 # the fixed fault-scenario matrix: termination, byte-identical replay,
 # monotone degradation, I/O slowdown — all checked in-process by the
-# binary, which exits non-zero on any harness invariant violation
+# binary, which exits non-zero on any harness invariant violation; the
+# report must also match the committed golden byte-for-byte
 run_gate "chaos sweep (fault injection harness invariants)" 60 \
-    cargo run -q --offline --release -p beff-bench --bin chaos -- --out target/chaos.verify.json
+    cargo run -q --offline --release -p beff-bench --bin chaos -- \
+    --out target/chaos.verify.json --golden results/chaos.json
+
+# the substrate proof: a PFS-only workload with fault injection on
+# beff-sim actors, no beff-mpi edge anywhere in its dependency cone
+# (machine-enforced by the analyze layering rule); the binary checks
+# byte-identical replay, goodput monotonicity and crash reporting
+run_gate "storage-sweep (non-MPI substrate workload)" 120 \
+    cargo run -q --offline --release -p beff-sweep --bin storage_sweep -- \
+    --check --out target/storage_sweep.verify.json
 
 echo "== BENCH_SIM.json gate =="
 # the committed full baseline must exist and parse, and so must the

@@ -27,8 +27,10 @@
 //!
 //! Crate map (see DESIGN.md for the experiment index):
 //!
-//! * [`netsim`] — virtual clocks, topologies, link contention, machine
-//!   cost models,
+//! * [`sim`] — the workload-agnostic deterministic-simulation
+//!   substrate: token scheduler, fiber engine, virtual clocks, typed
+//!   ports, fair-share resources,
+//! * [`netsim`] — topologies, link contention, machine cost models,
 //! * [`faults`] — seeded deterministic fault injection (degraded and
 //!   dead links, stragglers, message drops, rank crashes),
 //! * [`mpi`] — thread-per-rank communicator: p2p, collectives, split,
@@ -51,4 +53,5 @@ pub use beff_mpiio as mpiio;
 pub use beff_netsim as netsim;
 pub use beff_pfs as pfs;
 pub use beff_report as report;
+pub use beff_sim as sim;
 pub use beff_sync as sync;
