@@ -42,6 +42,20 @@ pub const FIBER_IDENTS: &[&str] = &["naked_asm", "global_asm", "fiber_switch"];
 /// The one directory allowed to contain [`FIBER_IDENTS`].
 pub const FIBER_HOME: &str = "crates/sim/";
 
+/// Identifiers that create or size host-thread parallelism. The
+/// `threading` rule quarantines them (same mechanism as the fiber
+/// quarantine): determinism lives or dies by *where* threads are
+/// allowed to exist, so thread creation is confined to the substrate's
+/// worker pool (`beff_sim::pool` / the sharded engine), the sync
+/// primitives, and the one MPI launcher. Everyone else funnels
+/// parallel work through `beff_sim::map_ordered`, whose
+/// submission-order results make worker count unobservable.
+pub const THREAD_IDENTS: &[&str] = &["spawn", "JoinHandle", "Builder", "available_parallelism"];
+
+/// The only places allowed to contain [`THREAD_IDENTS`] outside test
+/// code (path-suffix match: directories end with `/`).
+pub const THREAD_HOMES: &[&str] = &["crates/sim/", "crates/sync/", "crates/mpi/src/runtime.rs"];
+
 /// Substrate names that `beff-netsim` re-exports for compatibility but
 /// that `beff-mpi` must import from `beff_sim` directly (the `layering`
 /// rule). Module names and the types they export; the *model* surface
@@ -79,7 +93,7 @@ pub const DEP_ALLOWLISTS: &[(&str, &[&str])] = &[
 /// and `examples/`.
 pub const UNWRAP_BUDGETS: &[(&str, u32)] = &[
     ("analyze", 12),
-    ("bench", 48),
+    ("bench", 53),
     ("check", 0),
     ("core", 13),
     ("facade", 26),
@@ -91,7 +105,7 @@ pub const UNWRAP_BUDGETS: &[(&str, u32)] = &[
     ("netsim", 7),
     ("pfs", 19),
     ("report", 4),
-    ("sim", 12),
+    ("sim", 16),
     ("sweep", 4),
     ("sync", 3),
 ];
@@ -119,12 +133,21 @@ pub struct LockDecl {
 /// | level | lock                         | guards                         |
 /// |-------|------------------------------|--------------------------------|
 /// | 20    | `mpi.boards`                 | collective rendezvous boards   |
+/// | 25    | `shard.state`                | one shard's cross-shard outbox |
 /// | 30    | `sim.port`                   | one actor's port state         |
 /// | 40    | `sched.state`                | token-scheduler ready/blocked  |
 /// | 50    | `sched.parker`               | one actor's park flag          |
 /// | 60    | `pfs.files` / `pfs.disk`     | filesystem name table          |
 /// | 70    | `netsim.routes`              | one route-table shard          |
+/// | 75    | `sync.barrier`               | epoch-barrier generation state |
 /// | 80    | `sync.channel`               | channel queue (leaf)           |
+///
+/// `shard.state` sits *below* the port and scheduler locks because the
+/// epoch flusher holds the outbox while delivering: its acquisition
+/// chain is outbox (25) → port (30) → scheduler (40), strictly
+/// increasing. The barrier is held alone and released before `wait`
+/// returns, so its level only has to clear the locks a coordinator may
+/// still hold — none.
 pub const LOCK_HIERARCHY: &[LockDecl] = &[
     LockDecl {
         file_suffix: "crates/mpi/src/comm.rs",
@@ -132,6 +155,13 @@ pub const LOCK_HIERARCHY: &[LockDecl] = &[
         methods: &["lock"],
         level: 20,
         name: "mpi.boards",
+    },
+    LockDecl {
+        file_suffix: "crates/sim/src/shard.rs",
+        receiver: "outbox",
+        methods: &["lock"],
+        level: 25,
+        name: "shard.state",
     },
     LockDecl {
         file_suffix: "crates/sim/src/port.rs",
@@ -174,6 +204,13 @@ pub const LOCK_HIERARCHY: &[LockDecl] = &[
         methods: &["read", "write"],
         level: 70,
         name: "netsim.routes",
+    },
+    LockDecl {
+        file_suffix: "crates/sync/src/barrier.rs",
+        receiver: "state",
+        methods: &["lock"],
+        level: 75,
+        name: "sync.barrier",
     },
     LockDecl {
         file_suffix: "crates/sync/src/channel.rs",

@@ -102,6 +102,7 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<AnalyzeReport> {
         rules::check_waivers(&f, &mut violations);
         waivers_used += rules::check_wallclock(&f, &mut violations);
         waivers_used += rules::check_hash_order(&f, &mut violations);
+        waivers_used += rules::check_threading(&f, &mut violations);
         waivers_used += rules::check_safety(&f, &mut violations);
         waivers_used += rules::check_lock_order(&f, &mut violations);
         waivers_used += layering::check_source(&f, &mut violations);

@@ -6,6 +6,7 @@
 //! |--------------|------------------------------------|----------|
 //! | `wall-clock`  | non-test code, minus exempt crates | yes      |
 //! | `hash-order`  | non-test code of deterministic crates | yes   |
+//! | `threading`   | non-test code outside the thread homes | yes  |
 //! | `unwrap`      | everything, per-crate budget       | yes      |
 //! | `safety`      | non-test `unsafe` blocks & impls   | yes      |
 //! | `lock-order`  | declared locks, whole workspace    | yes      |
@@ -115,6 +116,56 @@ pub fn check_hash_order(f: &SourceFile, out: &mut Vec<Violation>) -> usize {
                 "`{}` has hasher-dependent iteration order in a deterministic crate; \
                  use BTreeMap/BTreeSet, or waive keyed-lookup-only use with \
                  `// beff-analyze: allow(hash-order): <why>`",
+                t.text
+            ),
+        });
+    }
+    waived
+}
+
+/// Is `path` one of the places allowed to create threads? Directory
+/// homes (trailing `/`) match as prefixes, file homes as suffixes.
+fn thread_home(path: &str) -> bool {
+    config::THREAD_HOMES.iter().any(|h| {
+        if h.ends_with('/') {
+            path.starts_with(h) || path.contains(&format!("/{h}"))
+        } else {
+            path.ends_with(h)
+        }
+    })
+}
+
+/// Rule `threading`: no `spawn`/`Builder`/`JoinHandle`/
+/// `available_parallelism` identifiers outside [`config::THREAD_HOMES`]
+/// — the worker-pool quarantine mirroring the fiber quarantine. Host
+/// parallelism elsewhere must route through `beff_sim::map_ordered`,
+/// whose submission-order results keep worker count unobservable. Test
+/// code is out of scope (stress tests race real threads on purpose).
+/// Returns the number of honored waivers.
+pub fn check_threading(f: &SourceFile, out: &mut Vec<Violation>) -> usize {
+    if thread_home(&f.path) {
+        return 0;
+    }
+    let mut waived = 0;
+    for t in &f.tokens {
+        if t.kind != TokenKind::Ident || !config::THREAD_IDENTS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if f.is_test_line(t.line) {
+            continue;
+        }
+        if f.waived("threading", t.line) {
+            waived += 1;
+            continue;
+        }
+        out.push(Violation {
+            rule: "threading",
+            path: f.path.clone(),
+            line: t.line,
+            message: format!(
+                "`{}` creates or sizes host threads outside the thread homes; use \
+                 `beff_sim::map_ordered` over the shared worker pool, or waive with \
+                 `// beff-analyze: allow(threading): <why>`",
                 t.text
             ),
         });
@@ -366,6 +417,46 @@ mod tests {
             "use std::collections::HashMap;"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn threading_flags_spawn_outside_homes() {
+        let v = run(
+            check_threading,
+            "crates/bench/src/x.rs",
+            "fn f() { std::thread::spawn(|| {}); }",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "threading");
+        assert!(v[0].message.contains("map_ordered"));
+    }
+
+    #[test]
+    fn threading_allows_homes_tests_and_waivers() {
+        // the substrate's pool, the sync crate, and the MPI launcher
+        // may spawn…
+        for home in
+            ["crates/sim/src/pool.rs", "crates/sync/src/channel.rs", "crates/mpi/src/runtime.rs"]
+        {
+            assert!(run(check_threading, home, "fn f() { s.spawn(|| {}); }").is_empty());
+        }
+        // …test code may spawn…
+        let test_src = "#[cfg(test)]\nmod t {\n fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(run(check_threading, "crates/bench/src/x.rs", test_src).is_empty());
+        // …and a waiver suppresses with a reason on record.
+        let waived = "fn f() {\n // beff-analyze: allow(threading): real second thread\n \
+                      std::thread::spawn(|| {});\n}";
+        assert!(run(check_threading, "crates/bench/src/x.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn threading_covers_sizing_idents_too() {
+        let v = run(
+            check_threading,
+            "crates/netsim/src/x.rs",
+            "fn f() { let n = std::thread::available_parallelism(); }",
+        );
+        assert_eq!(v.len(), 1);
     }
 
     #[test]

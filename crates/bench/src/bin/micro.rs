@@ -116,6 +116,7 @@ fn bench_mpi(h: &mut Harness) {
 fn bench_sync(h: &mut Harness) {
     h.bench("sync", "channel_bounded_1k_msgs_x2threads", || {
         let (tx, rx) = beff_sync::bounded::<u64>(64);
+        // beff-analyze: allow(threading): cross-thread channel micro-bench needs a real second thread
         let producer = std::thread::spawn(move || {
             for i in 0..1000u64 {
                 tx.send(i).expect("receiver alive");

@@ -289,15 +289,19 @@ fn shape_claims(rows: &[(Table1Row, BeffResult)]) -> Vec<ShapeClaim> {
 
 /// Replay every target row on the current catalog constants and build
 /// the calibration report.
+///
+/// Rows fan out over the `BEFF_WORKERS` pool: each measurement builds
+/// its own machine model from catalog constants and shares nothing
+/// with its siblings, so the report is byte-identical at every worker
+/// count (the `parallel-parity` gate in `scripts/verify.sh` pins this
+/// against the golden).
 pub fn check(tolerance: f64) -> CalibrationReport {
-    let measured: Vec<(Table1Row, BeffResult)> = targets()
-        .into_iter()
-        .map(|row| {
+    let measured: Vec<(Table1Row, BeffResult)> =
+        beff_sim::map_ordered(beff_sim::Workers::from_env(), targets(), |_, row| {
             let r = measure(row.machine_key, row.procs, None);
             eprintln!("calibrate: measured {} x{}", row.machine_key, row.procs);
             (row, r)
-        })
-        .collect();
+        });
     let rows = measured.iter().map(|(t, r)| row_report(t, r)).collect();
     let shapes = shape_claims(&measured);
     CalibrationReport { tolerance, rows, shapes }

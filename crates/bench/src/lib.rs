@@ -21,7 +21,7 @@ use beff_core::beff::{run_beff, BeffConfig};
 use beff_core::beffio::{run_beff_io, BeffIoConfig, BeffIoResult};
 use beff_core::BeffResult;
 use beff_machines::Machine;
-use beff_mpi::{World, WorldSession};
+use beff_mpi::{Workers, World, WorldSession};
 use beff_mpiio::IoWorld;
 use beff_netsim::MachineNet;
 use std::sync::Arc;
@@ -62,6 +62,19 @@ impl PartitionRunner {
         let cfg = cfg.clone();
         let mut results = self.session.run(move |c| run_beff(c, &cfg));
         results.swap_remove(0)
+    }
+
+    /// Run several independent b_eff schedules batch-parallel, one
+    /// machine replica per job on up to `workers` threads (see
+    /// [`World::run_batch`]). Byte-identical to calling
+    /// [`beff`](Self::beff) serially per config, at every worker count
+    /// — a replica is indistinguishable from the shared net after the
+    /// reset that `beff` performs.
+    pub fn beff_batch(&self, workers: Workers, cfgs: &[BeffConfig]) -> Vec<BeffResult> {
+        let world =
+            World::sim_partition(Arc::clone(&self.net), self.procs).with_workers(workers);
+        let per_job = world.run_batch(cfgs.len(), |job, c| run_beff(c, &cfgs[job]));
+        per_job.into_iter().map(|mut ranks| ranks.swap_remove(0)).collect()
     }
 
     /// Run the full b_eff_io schedule on the resident partition, with a

@@ -51,6 +51,7 @@ pub use collectives::ReduceOp;
 pub use comm::{Comm, RecvReq, SendReq};
 pub use engine::EngineCfg;
 pub use message::{Payload, RecvInfo, Tag};
+pub use beff_sim::Workers;
 pub use runtime::{World, WorldSession};
 pub use sched::{SchedAudit, SimScheduler};
 pub use topology::{dims_create, CartGrid};

@@ -22,6 +22,7 @@ use crate::engine::EngineCfg;
 use beff_sim::fiber::{init_fiber, FiberStack, STACK_SIZE};
 use beff_faults::{BeffError, FaultSession};
 use beff_netsim::MachineNet;
+use beff_sim::{map_ordered, Workers};
 use beff_sync::{channel, Condvar, Mutex};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -193,7 +194,15 @@ impl World {
             "partition of {n} ranks exceeds machine size {}",
             net.procs()
         );
-        Self { n, engine: EngineCfg::Sim { net, copy_data: false, faults: None } }
+        Self {
+            n,
+            engine: EngineCfg::Sim {
+                net,
+                copy_data: false,
+                faults: None,
+                workers: Workers::from_env(),
+            },
+        }
     }
 
     /// Materialize benchmark payload bytes in sim mode (tests use this
@@ -219,9 +228,62 @@ impl World {
         self
     }
 
+    /// Set the batch worker pool for [`run_batch`](Self::run_batch)
+    /// (the construction default is `BEFF_WORKERS` / host cores).
+    /// Panics on a real-mode world — real worlds already own one host
+    /// thread per rank.
+    pub fn with_workers(mut self, w: Workers) -> Self {
+        match &mut self.engine {
+            EngineCfg::Sim { workers, .. } => *workers = w,
+            EngineCfg::Real => panic!("batch worker pools apply to the sim engine"),
+        }
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.n
+    }
+
+    /// Run `jobs` independent whole-world simulations in parallel, one
+    /// machine *replica* per job, returning per-job rank-ordered
+    /// results in job order.
+    ///
+    /// This is the parallel twin of the serial sweep idiom
+    /// `for job { net.reset(); world.run(..) }`: a replica
+    /// ([`MachineNet::replica`]) is indistinguishable from the shared
+    /// machine after a reset, and each job's world keeps its own
+    /// token-serial schedule, so the batch is **byte-identical at every
+    /// worker count** — including `BEFF_WORKERS=1`, which spawns no
+    /// threads at all. Panics if a fault session is attached: a
+    /// [`FaultSession`] is stateful across runs and cannot be shared
+    /// between replicas; build per-job worlds with per-job sessions
+    /// instead (the chaos driver does).
+    pub fn run_batch<R, F>(&self, jobs: usize, f: F) -> Vec<Vec<R>>
+    where
+        R: Send,
+        F: Fn(usize, &mut Comm) -> R + Sync,
+    {
+        let EngineCfg::Sim { net, copy_data, faults, workers } = &self.engine else {
+            panic!("run_batch requires the sim engine (real mode has no machine replicas)");
+        };
+        assert!(
+            faults.is_none(),
+            "run_batch cannot share a stateful fault session across machine replicas"
+        );
+        let (n, copy_data) = (self.n, *copy_data);
+        map_ordered(*workers, (0..jobs).collect(), |_, job| {
+            let world = World {
+                n,
+                engine: EngineCfg::Sim {
+                    net: Arc::new(net.replica()),
+                    copy_data,
+                    faults: None,
+                    workers: Workers::new(1),
+                },
+            };
+            world.run(|c| f(job, c))
+        })
     }
 
     fn run_settled<R, F>(&self, f: F) -> Result<Vec<R>, Box<dyn Any + Send>>
@@ -435,6 +497,18 @@ impl WorldSession {
         F: Fn(&mut Comm) -> R + Send + Sync + 'static,
     {
         into_typed(self.run_settled(f))
+    }
+
+    /// Batch-parallel runs on machine replicas (see
+    /// [`World::run_batch`]). The session's resident mechanism cannot
+    /// be shared across replicas, so this delegates to a per-job world;
+    /// the session (and its worker knob) stays usable afterwards.
+    pub fn run_batch<R, F>(&self, jobs: usize, f: F) -> Vec<Vec<R>>
+    where
+        R: Send,
+        F: Fn(usize, &mut Comm) -> R + Sync,
+    {
+        World { n: self.n, engine: self.engine.clone() }.run_batch(jobs, f)
     }
 }
 
@@ -755,6 +829,70 @@ mod tests {
             a.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
             b.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    /// A pattern-sweep-shaped job: per-rank neighbor traffic whose
+    /// virtual finish times are contention-sensitive, so any schedule
+    /// or occupancy divergence shows up bitwise.
+    fn batch_job(job: usize, c: &mut Comm) -> u64 {
+        let peer = c.rank() ^ 1;
+        let bytes = 512 * (job + 1);
+        let sbuf = vec![0u8; bytes];
+        let mut rbuf = vec![0u8; bytes];
+        for _ in 0..4 {
+            c.payload_sendrecv(peer, 1, &sbuf, Some(peer), Some(1), &mut rbuf);
+        }
+        c.allreduce_scalar(c.now(), ReduceOp::Max).to_bits()
+    }
+
+    #[test]
+    fn run_batch_matches_serial_sweep_at_every_worker_count() {
+        let net = Arc::new(MachineNet::new(
+            Topology::Ring { procs: 4 },
+            NetParams::default(),
+        ));
+        // The reference: the pre-existing serial idiom — one shared
+        // machine, reset between runs.
+        let world = World::sim(Arc::clone(&net));
+        let serial: Vec<Vec<u64>> = (0..6)
+            .map(|job| {
+                net.reset();
+                world.run(|c| batch_job(job, c))
+            })
+            .collect();
+        for w in [1, 2, 4, 8] {
+            let batch = world
+                .clone()
+                .with_workers(Workers::new(w))
+                .run_batch(6, batch_job);
+            assert_eq!(serial, batch, "batch diverged from the serial sweep at {w} workers");
+        }
+    }
+
+    #[test]
+    fn session_run_batch_delegates_and_stays_usable() {
+        let net = Arc::new(MachineNet::new(
+            Topology::Ring { procs: 4 },
+            NetParams::default(),
+        ));
+        let world = World::sim(Arc::clone(&net)).with_workers(Workers::new(2));
+        let session = world.session();
+        let a = session.run_batch(3, batch_job);
+        let b = world.run_batch(3, batch_job);
+        assert_eq!(a, b);
+        net.reset();
+        assert_eq!(session.run(|c| c.size()), vec![4; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stateful fault session")]
+    fn run_batch_refuses_a_shared_fault_session() {
+        let net = Arc::new(MachineNet::new(
+            Topology::Crossbar { procs: 2 },
+            NetParams::default(),
+        ));
+        let session = FaultSession::new(beff_faults::FaultPlan::empty(), 2);
+        let _ = World::sim(net).with_faults(session).run_batch(2, |_, c| c.rank());
     }
 
     #[test]

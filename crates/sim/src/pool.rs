@@ -1,0 +1,175 @@
+//! The workspace's one worker pool: deterministic fan-out over a fixed
+//! thread count.
+//!
+//! Parallelism in a bit-deterministic stack is only safe at boundaries
+//! where jobs share *nothing* mutable — a batch of independent world
+//! runs, calibration rows each on their own machine model, chaos
+//! scenarios each owning their fault session. This module provides that
+//! one idiom and nothing else: [`map_ordered`] runs `f` over every item
+//! on up to [`Workers`] OS threads and returns the results **in
+//! submission order**, so the output is byte-identical to the serial
+//! map regardless of how the host scheduler interleaved the jobs.
+//!
+//! `Workers::from_env()` reads `BEFF_WORKERS` (default: host cores);
+//! `BEFF_WORKERS=1` takes the inline path — no threads are spawned at
+//! all, which *is* the pre-existing serial behavior, not an emulation
+//! of it. The `beff-analyze` `threading` rule quarantines thread
+//! creation to this crate, so every parallel call site in the workspace
+//! funnels through here.
+
+use beff_sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A validated worker count (≥ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workers(usize);
+
+impl Workers {
+    /// An explicit worker count; `0` is clamped to `1` (serial).
+    pub fn new(n: usize) -> Self {
+        Self(n.max(1))
+    }
+
+    /// The `BEFF_WORKERS` environment knob: unset or unparsable falls
+    /// back to the host's available parallelism (`1` on failure).
+    /// `BEFF_WORKERS=1` is the serial path.
+    pub fn from_env() -> Self {
+        if let Ok(v) = std::env::var("BEFF_WORKERS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return Self::new(n);
+            }
+        }
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(host)
+    }
+
+    #[inline]
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// Is this the serial (no threads spawned) configuration?
+    #[inline]
+    pub fn is_serial(self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl Default for Workers {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Apply `f` to every item on up to `workers` threads, returning the
+/// results in submission order. `f` receives `(index, item)`.
+///
+/// With one worker (or one item) the map runs inline on the caller's
+/// thread — the serial path spawns nothing. A panicking job aborts the
+/// batch: the first panic (in completion order) propagates to the
+/// caller after all workers have stopped picking up new items.
+pub fn map_ordered<T, R, F>(workers: Workers, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if workers.is_serial() || items.len() <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let n = items.len();
+    let width = workers.get().min(n);
+    // Scatter: each job's input and result slot is touched by exactly
+    // one worker (the one that won the index), so plain mutexes carry
+    // no contention — they are ownership transfer, not sharing.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..width)
+            .map(|_| {
+                let (inputs, slots, next, f) = (&inputs, &slots, &next, &f);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let item = inputs[i].lock().take().expect("job input taken once");
+                    let r = f(i, item);
+                    *slots[i].lock() = Some(r);
+                })
+            })
+            .collect();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                // Stop the remaining workers from claiming new jobs.
+                next.store(n, Ordering::Relaxed);
+                panic.get_or_insert(p);
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every job completed or the panic propagated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_clamp_and_parse() {
+        assert_eq!(Workers::new(0).get(), 1);
+        assert!(Workers::new(1).is_serial());
+        assert_eq!(Workers::new(8).get(), 8);
+    }
+
+    #[test]
+    fn serial_and_parallel_results_are_identical() {
+        let job = |i: usize, x: u64| {
+            let mut acc = x as f64;
+            for k in 0..200 {
+                acc += (k as f64) / (1.0 + i as f64);
+            }
+            acc.to_bits()
+        };
+        let items: Vec<u64> = (0..37).collect();
+        let serial = map_ordered(Workers::new(1), items.clone(), job);
+        for w in [2, 4, 8] {
+            let parallel = map_ordered(Workers::new(w), items.clone(), job);
+            assert_eq!(serial, parallel, "order/content must not depend on {w} workers");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let none: Vec<u32> = map_ordered(Workers::new(4), Vec::<u32>::new(), |_, x| x);
+        assert!(none.is_empty());
+        let one = map_ordered(Workers::new(4), vec![7u32], |i, x| x + i as u32);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = map_ordered(Workers::new(16), vec![1u32, 2, 3], |_, x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn job_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            map_ordered(Workers::new(4), (0..8u32).collect(), |_, x| {
+                if x == 3 {
+                    panic!("job bug");
+                }
+                x
+            })
+        });
+        assert!(r.is_err(), "a job panic must reach the caller");
+    }
+}

@@ -1,0 +1,165 @@
+//! A reusable generation-counted barrier over [`Mutex`] + [`Condvar`].
+//!
+//! The in-tree replacement for `std::sync::Barrier`, built here so it
+//! participates in the ranked lock hierarchy (DESIGN.md §8): the
+//! conservative parallel simulation mode (`beff-sim`'s shard engine)
+//! synchronizes its epoch boundaries through this barrier, and the
+//! lock-order checker must be able to see that no shard-side lock is
+//! held across the rendezvous.
+//!
+//! Semantics match `std::sync::Barrier`: `wait()` blocks until
+//! `parties` threads have arrived, then releases them all; exactly one
+//! of them observes [`BarrierWaitResult::is_leader`]. The barrier is
+//! *reusable* — a generation counter distinguishes consecutive epochs,
+//! so a fast thread re-entering `wait()` cannot slip through the
+//! previous generation's release.
+
+use crate::condvar::Condvar;
+use crate::mutex::Mutex;
+use crate::order::Rank;
+
+/// Lock-hierarchy position (DESIGN.md §8): above every simulation-side
+/// lock — a thread must have released all shard/scheduler state before
+/// parking at an epoch boundary, and acquires it afresh afterwards.
+static BARRIER_RANK: Rank = Rank::new(75, "sync.barrier");
+
+struct BarrierState {
+    /// Threads that have arrived in the current generation.
+    arrived: usize,
+    /// Bumped on every release; waiters key their sleep on it.
+    generation: u64,
+}
+
+/// One arrival's verdict: the last thread to arrive in each generation
+/// is the *leader* (it bumped the generation), mirroring
+/// `std::sync::BarrierWaitResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierWaitResult {
+    leader: bool,
+}
+
+impl BarrierWaitResult {
+    #[inline]
+    pub fn is_leader(&self) -> bool {
+        self.leader
+    }
+}
+
+/// A reusable rendezvous point for a fixed party count.
+pub struct Barrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    parties: usize,
+}
+
+impl std::fmt::Debug for Barrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Barrier").field("parties", &self.parties).finish_non_exhaustive()
+    }
+}
+
+impl Barrier {
+    /// A barrier releasing once `parties` threads call [`wait`](Self::wait).
+    /// A zero-party barrier is treated as one party (it can never block).
+    pub fn new(parties: usize) -> Self {
+        Self {
+            state: Mutex::ranked(&BARRIER_RANK, BarrierState { arrived: 0, generation: 0 }),
+            cv: Condvar::new(),
+            parties: parties.max(1),
+        }
+    }
+
+    /// Number of threads the barrier waits for.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Block until every party has arrived. The last arrival releases
+    /// the generation and is its leader.
+    pub fn wait(&self) -> BarrierWaitResult {
+        let mut state = self.state.lock();
+        state.arrived += 1;
+        if state.arrived == self.parties {
+            state.arrived = 0;
+            state.generation = state.generation.wrapping_add(1);
+            drop(state);
+            self.cv.notify_all();
+            return BarrierWaitResult { leader: true };
+        }
+        let generation = state.generation;
+        while state.generation == generation {
+            self.cv.wait(&mut state);
+        }
+        BarrierWaitResult { leader: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = Barrier::new(1);
+        assert!(b.wait().is_leader());
+        assert!(b.wait().is_leader());
+    }
+
+    #[test]
+    fn zero_parties_clamps_to_one() {
+        let b = Barrier::new(0);
+        assert_eq!(b.parties(), 1);
+        assert!(b.wait().is_leader());
+    }
+
+    #[test]
+    fn releases_all_with_one_leader_per_generation() {
+        const N: usize = 4;
+        const EPOCHS: usize = 50;
+        let b = Barrier::new(N);
+        let leaders = AtomicUsize::new(0);
+        let arrivals = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    for _ in 0..EPOCHS {
+                        arrivals.fetch_add(1, Ordering::SeqCst);
+                        if b.wait().is_leader() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), EPOCHS);
+        assert_eq!(arrivals.load(Ordering::SeqCst), N * EPOCHS);
+    }
+
+    /// Reuse safety: a thread racing ahead into the next generation
+    /// must not be released by the previous generation's broadcast.
+    /// Every epoch increments a shared counter exactly once (leader
+    /// only); laggards verify the count matches their epoch.
+    #[test]
+    fn generations_do_not_bleed() {
+        const N: usize = 3;
+        const EPOCHS: u64 = 200;
+        let b = Barrier::new(N);
+        let epoch = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    for e in 0..EPOCHS as usize {
+                        if b.wait().is_leader() {
+                            epoch.fetch_add(1, Ordering::SeqCst);
+                        }
+                        // Second barrier closes the epoch: everyone must
+                        // observe the leader's increment for round e.
+                        b.wait();
+                        assert_eq!(epoch.load(Ordering::SeqCst), e + 1);
+                    }
+                });
+            }
+        });
+    }
+}

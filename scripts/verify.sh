@@ -69,6 +69,18 @@ run_gate "chaos sweep (fault injection harness invariants)" 60 \
     cargo run -q --offline --release -p beff-bench --bin chaos -- \
     --out target/chaos.verify.json --golden results/chaos.json
 
+# parallel parity: the calibration and chaos sweeps fan their jobs out
+# over the BEFF_WORKERS pool; both reports must match the same
+# committed goldens byte-for-byte at 4 workers as at 1 — worker count
+# is unobservable by construction (DESIGN.md §10), and this gate pins
+# it end-to-end
+run_gate "parallel-parity (calibration golden, BEFF_WORKERS=4)" 600 \
+    env BEFF_WORKERS=4 cargo run -q --offline --release -p beff-bench --bin calibrate -- \
+    --check --out target/calibration.parity.json --golden results/calibration.json
+run_gate "parallel-parity (chaos golden, BEFF_WORKERS=4)" 120 \
+    env BEFF_WORKERS=4 cargo run -q --offline --release -p beff-bench --bin chaos -- \
+    --out target/chaos.parity.json --golden results/chaos.json
+
 # the substrate proof: a PFS-only workload with fault injection on
 # beff-sim actors, no beff-mpi edge anywhere in its dependency cone
 # (machine-enforced by the analyze layering rule); the binary checks
