@@ -11,7 +11,7 @@
 /// by design: one implements timed primitives, the other measures real
 /// time.)
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["sim", "netsim", "mpi", "pfs", "faults", "mpiio", "sweep"];
+    &["sim", "netsim", "mpi", "pfs", "faults", "mpiio", "sweep", "serve"];
 
 /// Crates exempt from the wall-clock rule wholesale.
 ///
@@ -23,8 +23,11 @@ pub const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["sync", "bench", "analyze"];
 /// Individual files exempt from the wall-clock rule (workspace-relative
 /// path suffixes). `sim/src/clock.rs` is *the* virtual-time module: it
 /// owns the only sanctioned mapping between simulated seconds and host
-/// time.
-pub const WALLCLOCK_EXEMPT_FILES: &[&str] = &["crates/sim/src/clock.rs"];
+/// time. `serve`'s load generator measures serving latency — honest
+/// wall timings, reported but never gated on — while the library it
+/// drives stays clock-free.
+pub const WALLCLOCK_EXEMPT_FILES: &[&str] =
+    &["crates/sim/src/clock.rs", "crates/serve/src/bin/loadgen.rs"];
 
 /// Identifiers whose appearance in deterministic code means a wall
 /// clock or host-scheduling dependency.
@@ -83,6 +86,21 @@ pub const DEP_ALLOWLISTS: &[(&str, &[&str])] = &[
     ("pfs", &["beff-netsim", "beff-sync", "beff-json", "beff-check"]),
     ("mpi", &["beff-sim", "beff-netsim", "beff-faults", "beff-sync", "beff-check"]),
     ("sweep", &["beff-sim", "beff-pfs", "beff-faults", "beff-json"]),
+    (
+        "serve",
+        &[
+            "beff-json",
+            "beff-sync",
+            "beff-sim",
+            "beff-netsim",
+            "beff-faults",
+            "beff-mpi",
+            "beff-core",
+            "beff-machines",
+            "beff-bench",
+            "beff-check",
+        ],
+    ),
 ];
 
 /// Per-crate `unwrap()`/`expect()` ceilings, pinned by the PR-4/PR-5
@@ -98,14 +116,15 @@ pub const UNWRAP_BUDGETS: &[(&str, u32)] = &[
     ("core", 13),
     ("facade", 26),
     ("faults", 0),
-    ("json", 7),
+    ("json", 16),
     ("machines", 6),
     ("mpi", 25),
     ("mpiio", 25),
     ("netsim", 7),
     ("pfs", 19),
     ("report", 4),
-    ("sim", 16),
+    ("serve", 57),
+    ("sim", 18),
     ("sweep", 4),
     ("sync", 3),
 ];
@@ -132,6 +151,8 @@ pub struct LockDecl {
 ///
 /// | level | lock                         | guards                         |
 /// |-------|------------------------------|--------------------------------|
+/// | 14    | `serve.cache`                | content-addressed result map   |
+/// | 16    | `serve.pool`                 | idle resident-partition stacks |
 /// | 20    | `mpi.boards`                 | collective rendezvous boards   |
 /// | 25    | `shard.state`                | one shard's cross-shard outbox |
 /// | 30    | `sim.port`                   | one actor's port state         |
@@ -148,7 +169,26 @@ pub struct LockDecl {
 /// increasing. The barrier is held alone and released before `wait`
 /// returns, so its level only has to clear the locks a coordinator may
 /// still hold — none.
+///
+/// The serve daemon's two locks sit *below* the whole simulation stack:
+/// they bracket map pushes/pops on the request path and are always
+/// released before a simulation runs, so any accidental nesting of a
+/// serve lock around a sim lock is still hierarchy-increasing.
 pub const LOCK_HIERARCHY: &[LockDecl] = &[
+    LockDecl {
+        file_suffix: "crates/serve/src/cache.rs",
+        receiver: "entries",
+        methods: &["lock"],
+        level: 14,
+        name: "serve.cache",
+    },
+    LockDecl {
+        file_suffix: "crates/serve/src/pool.rs",
+        receiver: "idle",
+        methods: &["lock"],
+        level: 16,
+        name: "serve.pool",
+    },
     LockDecl {
         file_suffix: "crates/mpi/src/comm.rs",
         receiver: "boards",

@@ -72,6 +72,45 @@ pub(crate) fn write_pretty(v: &Json, depth: usize, out: &mut String) {
     }
 }
 
+/// Compact layout with every object's fields sorted by key bytes,
+/// recursively — the **canonical form**. Two structurally equal
+/// documents produce byte-identical canonical text regardless of the
+/// order their fields were inserted in, which is what makes it usable
+/// as a content-addressed cache key (`beff-serve`). Arrays keep their
+/// order: element order is data, field order is not.
+pub(crate) fn write_canonical(v: &Json, out: &mut String) {
+    match v {
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canonical(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            let mut order: Vec<usize> = (0..fields.len()).collect();
+            // Stable sort: duplicate keys (never produced by ToJson
+            // impls, possible in hand-built trees) keep insertion order.
+            order.sort_by(|&a, &b| fields[a].0.as_bytes().cmp(fields[b].0.as_bytes()));
+            out.push('{');
+            for (i, &idx) in order.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let (name, value) = &fields[idx];
+                write_escaped(name, out);
+                out.push(':');
+                write_canonical(value, out);
+            }
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
 fn newline_indent(depth: usize, out: &mut String) {
     out.push('\n');
     for _ in 0..depth {
@@ -221,6 +260,25 @@ mod tests {
         write_pretty(&j, 0, &mut s);
         let want = "{\n  \"name\": \"t3e\",\n  \"sizes\": [\n    1,\n    8\n  ],\n  \"empty\": [],\n  \"nested\": {\n    \"ok\": true\n  }\n}";
         assert_eq!(s, want);
+    }
+
+    #[test]
+    fn canonical_sorts_keys_recursively_but_not_arrays() {
+        let a = Json::object()
+            .field("z", &1u32)
+            .raw("a", Json::object().field("y", &2u32).field("b", &3u32).build())
+            .raw("arr", Json::Arr(vec![Json::UInt(2), Json::UInt(1)]))
+            .build();
+        let b = Json::object()
+            .raw("arr", Json::Arr(vec![Json::UInt(2), Json::UInt(1)]))
+            .raw("a", Json::object().field("b", &3u32).field("y", &2u32).build())
+            .field("z", &1u32)
+            .build();
+        let (mut ca, mut cb) = (String::new(), String::new());
+        write_canonical(&a, &mut ca);
+        write_canonical(&b, &mut cb);
+        assert_eq!(ca, cb);
+        assert_eq!(ca, r#"{"a":{"b":3,"y":2},"arr":[2,1],"z":1}"#);
     }
 
     #[test]

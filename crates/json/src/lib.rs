@@ -28,9 +28,11 @@
 
 mod check;
 mod fmt;
+mod parse;
 mod value;
 
 pub use check::{validate, JsonError};
+pub use parse::parse;
 pub use value::{Json, ObjectBuilder, ToJson};
 
 /// Serialize compactly (no whitespace) — `serde_json::to_string` shape.
@@ -45,5 +47,16 @@ pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
 pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
     let mut out = String::new();
     fmt::write_pretty(&value.to_json(), 0, &mut out);
+    out
+}
+
+/// Serialize in **canonical form**: compact, with every object's fields
+/// sorted by key bytes, recursively. Structurally equal values produce
+/// byte-identical text regardless of field insertion order — the
+/// property `beff-serve` relies on to use the serialized job spec as a
+/// content-addressed cache key.
+pub fn to_canonical<T: ToJson + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    fmt::write_canonical(&value.to_json(), &mut out);
     out
 }

@@ -132,7 +132,10 @@ impl CollBoard {
 /// State shared by every rank of a world (created by the runtime).
 pub struct WorldShared {
     pub(crate) mailboxes: Vec<Mailbox>,
-    pub(crate) engine: EngineCfg,
+    /// Shared engine config: one allocation per `World`, reference-
+    /// counted into every rebuilt `WorldShared` instead of recloned
+    /// (session checkout must not pay a config deep-clone per run).
+    pub(crate) engine: Arc<EngineCfg>,
     pub(crate) next_ctx: AtomicU32,
     /// Deterministic token scheduler (sim mode only; real mode lets
     /// the host scheduler run ranks concurrently).
@@ -143,7 +146,7 @@ pub struct WorldShared {
 }
 
 impl WorldShared {
-    pub fn new(n: usize, engine: EngineCfg) -> Self {
+    pub fn new(n: usize, engine: Arc<EngineCfg>) -> Self {
         let sched = engine.is_sim().then(|| SimScheduler::new(n));
         Self::with_sched(n, engine, sched)
     }
@@ -151,12 +154,12 @@ impl WorldShared {
     /// Sim world driven by user-space fibers on one host thread rather
     /// than parked rank threads (see [`crate::sched`]).
     #[cfg(target_arch = "x86_64")]
-    pub(crate) fn new_fibered(n: usize, engine: EngineCfg) -> Self {
+    pub(crate) fn new_fibered(n: usize, engine: Arc<EngineCfg>) -> Self {
         debug_assert!(engine.is_sim());
         Self::with_sched(n, engine, Some(SimScheduler::new_fibers(n)))
     }
 
-    fn with_sched(n: usize, engine: EngineCfg, sched: Option<SimScheduler>) -> Self {
+    fn with_sched(n: usize, engine: Arc<EngineCfg>, sched: Option<SimScheduler>) -> Self {
         Self {
             mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
             engine,
@@ -242,7 +245,7 @@ impl Comm {
     /// where computation takes its own time). A straggler rank's
     /// computation is stretched by its fault-plan multiplier.
     pub fn compute(&mut self, dt: Secs) {
-        let dt = match &self.shared.engine {
+        let dt = match self.shared.engine.as_ref() {
             EngineCfg::Sim { faults: Some(fs), .. } => {
                 dt * fs.plan().compute_mult(self.world_rank())
             }
@@ -261,7 +264,7 @@ impl Comm {
     /// Engine configuration (for layers that price their own costs,
     /// like MPI-IO).
     pub fn engine(&self) -> &EngineCfg {
-        &self.shared.engine
+        self.shared.engine.as_ref()
     }
 
     /// Shared per-rank state (the clock) for sibling layers.
@@ -295,7 +298,7 @@ impl Comm {
     /// blocked so another rank can make progress deterministically.
     fn blocking_recv(&self, m: Match) -> Envelope {
         let wr = self.world_rank();
-        if let EngineCfg::Sim { faults: Some(fs), .. } = &self.shared.engine {
+        if let EngineCfg::Sim { faults: Some(fs), .. } = self.shared.engine.as_ref() {
             let now = self.state.borrow().clock.now();
             if let Some(err) = fs.crash_check(wr, now) {
                 err.raise();
@@ -324,7 +327,7 @@ impl Comm {
     /// Price and deliver; returns sender-free time (0.0 in real mode).
     fn do_send(&mut self, dst: usize, tag: Tag, payload: Payload) -> Secs {
         assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
-        match &self.shared.engine {
+        match self.shared.engine.as_ref() {
             EngineCfg::Real => {
                 self.deliver(dst, tag, 0.0, 0.0, payload);
                 0.0
@@ -392,7 +395,7 @@ impl Comm {
     }
 
     fn make_payload(&self, data: &[u8]) -> Payload {
-        match &self.shared.engine {
+        match self.shared.engine.as_ref() {
             EngineCfg::Sim { copy_data: false, .. } => Payload::Len(data.len() as u64),
             _ => Payload::Data(data.to_vec()),
         }
@@ -401,7 +404,7 @@ impl Comm {
     /// Does benchmark traffic carry real bytes? When `false`, kernels
     /// may use the `*_len` fast paths and zero-length receive buffers.
     pub fn copies_payload(&self) -> bool {
-        !matches!(&self.shared.engine, EngineCfg::Sim { copy_data: false, .. })
+        !matches!(self.shared.engine.as_ref(), EngineCfg::Sim { copy_data: false, .. })
     }
 
     /// Blocking benchmark send of `len` synthetic bytes. Only valid in
@@ -426,7 +429,7 @@ impl Comm {
     /// Apply receive timing: drain the message through the receiver's
     /// ingress resources (its node memory + port-in), then pay o_recv.
     fn apply_recv_time(&mut self, env: &Envelope) {
-        if let EngineCfg::Sim { net, faults, .. } = &self.shared.engine {
+        if let EngineCfg::Sim { net, faults, .. } = self.shared.engine.as_ref() {
             let mut st = self.state.borrow_mut();
             let wsrc = self.ranks[env.src];
             let wdst = self.ranks[self.rank];
@@ -548,7 +551,7 @@ impl Comm {
     /// region that follows starts from the idle network the benchmark's
     /// barrier is there to provide.
     fn sim_coll_cost(&self, rounds: u32) -> Secs {
-        let EngineCfg::Sim { net, .. } = &self.shared.engine else {
+        let EngineCfg::Sim { net, .. } = self.shared.engine.as_ref() else {
             return 0.0;
         };
         let p = net.params();

@@ -124,7 +124,7 @@ fn into_typed<R>(settled: Result<Vec<R>, Box<dyn Any + Send>>) -> Result<Vec<R>,
 #[cfg(target_arch = "x86_64")]
 fn run_world_fibers<R, F>(
     n: usize,
-    engine: &EngineCfg,
+    engine: &Arc<EngineCfg>,
     stacks: &[FiberStack],
     f: &F,
 ) -> Result<Vec<R>, Box<dyn Any + Send>>
@@ -133,7 +133,7 @@ where
     F: Fn(&mut Comm) -> R + Sync,
 {
     assert_eq!(stacks.len(), n);
-    let shared = Arc::new(WorldShared::new_fibered(n, engine.clone()));
+    let shared = Arc::new(WorldShared::new_fibered(n, Arc::clone(engine)));
     let sched = shared.sched.as_ref().expect("fibered world has a scheduler");
     let mut results: Vec<Option<Result<R, Box<dyn Any + Send>>>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
@@ -166,17 +166,24 @@ where
 }
 
 /// Builder/launcher for a world of `n` ranks.
+///
+/// The engine config lives behind one `Arc`: every run/rebuild shares
+/// it by reference count, and the builder methods copy-on-write via
+/// [`Arc::make_mut`] (free while the handle is unshared, which it is
+/// during building). Rebuild paths therefore never deep-clone the
+/// config — the property the `beff-serve` session pool's checkout
+/// relies on.
 #[derive(Clone)]
 pub struct World {
     n: usize,
-    engine: EngineCfg,
+    engine: Arc<EngineCfg>,
 }
 
 impl World {
     /// Real mode: `n` host threads, wall-clock timing.
     pub fn real(n: usize) -> Self {
         assert!(n > 0, "world needs at least one rank");
-        Self { n, engine: EngineCfg::Real }
+        Self { n, engine: Arc::new(EngineCfg::Real) }
     }
 
     /// Sim mode on the full machine (one rank per modeled proc).
@@ -196,19 +203,19 @@ impl World {
         );
         Self {
             n,
-            engine: EngineCfg::Sim {
+            engine: Arc::new(EngineCfg::Sim {
                 net,
                 copy_data: false,
                 faults: None,
                 workers: Workers::from_env(),
-            },
+            }),
         }
     }
 
     /// Materialize benchmark payload bytes in sim mode (tests use this
     /// to verify data integrity; big benchmark runs leave it off).
     pub fn copy_data(mut self, yes: bool) -> Self {
-        if let EngineCfg::Sim { copy_data, .. } = &mut self.engine {
+        if let EngineCfg::Sim { copy_data, .. } = Arc::make_mut(&mut self.engine) {
             *copy_data = yes;
         }
         self
@@ -218,7 +225,7 @@ impl World {
     /// the session's plan. Panics on a real-mode world — fault
     /// injection prices virtual time.
     pub fn with_faults(mut self, session: Arc<FaultSession>) -> Self {
-        match &mut self.engine {
+        match Arc::make_mut(&mut self.engine) {
             EngineCfg::Sim { faults, .. } => *faults = Some(session),
             EngineCfg::Real => panic!("fault injection requires the sim engine"),
         }
@@ -233,7 +240,7 @@ impl World {
     /// Panics on a real-mode world — real worlds already own one host
     /// thread per rank.
     pub fn with_workers(mut self, w: Workers) -> Self {
-        match &mut self.engine {
+        match Arc::make_mut(&mut self.engine) {
             EngineCfg::Sim { workers, .. } => *workers = w,
             EngineCfg::Real => panic!("batch worker pools apply to the sim engine"),
         }
@@ -264,7 +271,7 @@ impl World {
         R: Send,
         F: Fn(usize, &mut Comm) -> R + Sync,
     {
-        let EngineCfg::Sim { net, copy_data, faults, workers } = &self.engine else {
+        let EngineCfg::Sim { net, copy_data, faults, workers } = self.engine.as_ref() else {
             panic!("run_batch requires the sim engine (real mode has no machine replicas)");
         };
         assert!(
@@ -275,12 +282,12 @@ impl World {
         map_ordered(*workers, (0..jobs).collect(), |_, job| {
             let world = World {
                 n,
-                engine: EngineCfg::Sim {
+                engine: Arc::new(EngineCfg::Sim {
                     net: Arc::new(net.replica()),
                     copy_data,
                     faults: None,
                     workers: Workers::new(1),
-                },
+                }),
             };
             world.run(|c| f(job, c))
         })
@@ -297,7 +304,7 @@ impl World {
                 (0..self.n).map(|_| FiberStack::new(STACK_SIZE)).collect();
             return run_world_fibers(self.n, &self.engine, &stacks, &f);
         }
-        let shared = Arc::new(WorldShared::new(self.n, self.engine.clone()));
+        let shared = Arc::new(WorldShared::new(self.n, Arc::clone(&self.engine)));
 
         let settled = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.n);
@@ -383,7 +390,7 @@ enum SessionMech {
 /// the memoized route table is topology-derived and correct to keep.
 pub struct WorldSession {
     n: usize,
-    engine: EngineCfg,
+    engine: Arc<EngineCfg>,
     mech: SessionMech,
 }
 
@@ -394,7 +401,7 @@ impl WorldSession {
         if world.engine.is_sim() {
             return Self {
                 n,
-                engine: world.engine.clone(),
+                engine: Arc::clone(&world.engine),
                 mech: SessionMech::Fibers {
                     stacks: (0..n).map(|_| FiberStack::new(STACK_SIZE)).collect(),
                 },
@@ -417,12 +424,30 @@ impl WorldSession {
                 .expect("spawn resident rank thread");
             handles.push(h);
         }
-        Self { n, engine: world.engine.clone(), mech: SessionMech::Threads { senders, handles } }
+        Self {
+            n,
+            engine: Arc::clone(&world.engine),
+            mech: SessionMech::Threads { senders, handles },
+        }
     }
 
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.n
+    }
+
+    /// Rebuild a [`World`] launcher sharing this session's engine (an
+    /// `Arc` bump, not a config clone). The `beff-serve` pool uses this
+    /// for checked-out sessions that need a *variant* world — e.g. a
+    /// per-job fault session attached via [`World::with_faults`] — while
+    /// the resident session itself stays untouched and reusable.
+    pub fn world(&self) -> World {
+        World { n: self.n, engine: Arc::clone(&self.engine) }
+    }
+
+    /// True when this session runs the virtual-time engine.
+    pub fn is_sim(&self) -> bool {
+        self.engine.is_sim()
     }
 
     fn run_settled<R, F>(&self, f: F) -> Result<Vec<R>, Box<dyn Any + Send>>
@@ -437,7 +462,7 @@ impl WorldSession {
                 return run_world_fibers(self.n, &self.engine, stacks, &f);
             }
         };
-        let shared = Arc::new(WorldShared::new(self.n, self.engine.clone()));
+        let shared = Arc::new(WorldShared::new(self.n, Arc::clone(&self.engine)));
         let f = Arc::new(f);
         let slots = Arc::new((
             Mutex::new(RunSlots::<R> { results: (0..self.n).map(|_| None).collect(), done: 0 }),
@@ -508,7 +533,7 @@ impl WorldSession {
         R: Send,
         F: Fn(usize, &mut Comm) -> R + Sync,
     {
-        World { n: self.n, engine: self.engine.clone() }.run_batch(jobs, f)
+        self.world().run_batch(jobs, f)
     }
 }
 

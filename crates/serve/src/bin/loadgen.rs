@@ -1,0 +1,445 @@
+//! Seeded query-mix replay against an in-process [`Server`]: the
+//! serving story's benchmark harness and correctness audit.
+//!
+//! Three phases over a fixed spec universe (a pattern ladder across
+//! machines/partitions plus one 512-rank "hero" spec):
+//!
+//! 1. **cold** — every unique spec once, timing the miss path;
+//! 2. **mixed** — a seeded stream of queries at a configurable
+//!    hit/miss ratio, timing per-query latency;
+//! 3. **replay** — the whole mix again through the bounded admission
+//!    queue, timing pure cache-hit batch throughput.
+//!
+//! Afterwards the audit recomputes **every** unique spec with the
+//! cache bypassed and byte-compares against the cached entry, and the
+//! hero spec's cached latency is compared against its cold run (the
+//! gate demands ≥ 50×; determinism makes the hit exact, so the only
+//! question is speed).
+//!
+//! The report (`BENCH_SERVE.json`) is split into a `virtual` section —
+//! counts, digests, b_eff values: bit-deterministic, byte-identical at
+//! every `BEFF_WORKERS`, golden-comparable across hosts — and a `wall`
+//! section (latency percentiles, throughput) that is honest wall time
+//! and never gated on exact values. `--virtual-out FILE` writes the
+//! canonical virtual section alone for the parity/golden gates.
+//!
+//! ```text
+//! loadgen [--out FILE] [--virtual-out FILE] [--golden FILE]
+//!         [--queries N] [--hit-ratio F] [--hero-procs N]
+//! ```
+//!
+//! This file is on the `beff-analyze` wall-clock exempt list: it is
+//! the one place in the serve stack that reads host time.
+
+use beff_json::{Json, ToJson};
+use beff_serve::{Admission, FaultCfg, JobSpec, Server};
+use beff_sim::Workers;
+use std::time::Instant;
+
+/// Seed of the query mix (the mix itself is part of the benchmark
+/// definition, so it is fixed, not host-entropy).
+const MIX_SEED: u64 = 0x5EED_0001;
+
+/// Seed base for fresh-miss variants generated in the mixed phase.
+const VARIANT_SEED_BASE: u64 = 0x900D_0000;
+
+fn main() {
+    let cli = Cli::parse();
+    let workers = match Workers::try_from_env() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let server = Server::new(workers);
+
+    // The spec universe: pattern ladder + hero, all validated upfront.
+    let ladder = ladder(cli.hero_procs);
+    for spec in &ladder {
+        if let Err(e) = spec.resolve() {
+            eprintln!("loadgen: internal ladder spec invalid: {e}");
+            std::process::exit(1);
+        }
+    }
+    let hero = ladder.last().expect("ladder is never empty").clone();
+
+    // Phase 1: cold — every unique spec once, per-spec miss latency.
+    let mut cold_secs = Vec::with_capacity(ladder.len());
+    let mut hero_cold_secs = 0.0;
+    for spec in &ladder {
+        let t = Instant::now();
+        let outcome = server.submit(spec).expect("ladder specs are valid");
+        let secs = t.elapsed().as_secs_f64();
+        assert!(!outcome.cached, "cold phase must miss");
+        if spec == &hero {
+            hero_cold_secs = secs;
+        }
+        cold_secs.push(secs);
+    }
+
+    // Phase 2: mixed — seeded hit/miss stream, per-query latency.
+    let mut rng = MixRng::new(MIX_SEED);
+    let small: Vec<&JobSpec> = ladder.iter().filter(|s| s.procs <= 32).collect();
+    let mut unique = ladder.clone();
+    let mut mix: Vec<JobSpec> = Vec::with_capacity(cli.queries);
+    let mut latencies = Vec::with_capacity(cli.queries);
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for i in 0..cli.queries {
+        let spec = if rng.unit() < cli.hit_ratio {
+            // Replay a known spec (a guaranteed hit).
+            unique[rng.below(unique.len())].clone()
+        } else {
+            // A fresh variant of a small ladder spec (a guaranteed miss).
+            let base = small[rng.below(small.len())];
+            base.clone().with_seed(VARIANT_SEED_BASE + i as u64)
+        };
+        let t = Instant::now();
+        let outcome = server.submit(&spec).expect("mix specs are valid");
+        latencies.push(t.elapsed().as_secs_f64());
+        if outcome.cached {
+            hits += 1;
+        } else {
+            misses += 1;
+            unique.push(spec.clone());
+        }
+        mix.push(spec);
+    }
+
+    // Phase 3: replay the whole mix through the admission queue —
+    // everything is cached now, so this times hit batch throughput.
+    let t = Instant::now();
+    let mut queue = Admission::new(&server, 8);
+    let mut replayed = 0usize;
+    for spec in &mix {
+        replayed += queue.enqueue(spec.clone()).len();
+    }
+    replayed += queue.flush().len();
+    let replay_secs = t.elapsed().as_secs_f64();
+    assert_eq!(replayed, mix.len(), "the queue must answer every admitted query");
+
+    // Hero hit latency: median of repeated cached queries.
+    let mut hero_hits = Vec::with_capacity(7);
+    for _ in 0..7 {
+        let t = Instant::now();
+        let outcome = server.submit(&hero).expect("hero is valid");
+        hero_hits.push(t.elapsed().as_secs_f64());
+        assert!(outcome.cached, "hero must be cached by now");
+    }
+    let hero_hit_secs = median(&mut hero_hits);
+    let speedup = hero_cold_secs / hero_hit_secs.max(1e-9);
+
+    // Audit: every unique spec, recomputed with the cache bypassed,
+    // must reproduce the cached bytes exactly.
+    let mut audited = 0usize;
+    for spec in &unique {
+        let cached = server
+            .submit(spec)
+            .expect("unique specs are valid");
+        assert!(cached.cached, "every unique spec is cached after the run");
+        let fresh = server.recompute(spec).expect("unique specs are valid");
+        if cached.bytes.as_ref() != fresh.as_str() {
+            eprintln!(
+                "loadgen: CACHE CORRECTNESS FAILURE for {} ({}): cached bytes differ from recomputation",
+                spec.key_digest(),
+                spec.machine,
+            );
+            std::process::exit(1);
+        }
+        audited += 1;
+    }
+
+    let stats = server.cache_stats();
+    let report = Report {
+        workers: workers.get(),
+        queries: cli.queries,
+        hit_ratio: cli.hit_ratio,
+        unique,
+        hero: hero.clone(),
+        hero_beff: beff_of(&server, &hero),
+        audited,
+        stats_entries: stats.entries,
+        mixed_hits: hits,
+        mixed_misses: misses,
+        cold_secs,
+        hero_cold_secs,
+        hero_hit_secs,
+        speedup,
+        latencies,
+        replay_secs,
+        replayed,
+    };
+
+    let virtual_bytes = beff_json::to_canonical(&VirtualSection(&report));
+    if let Some(path) = &cli.virtual_out {
+        write_file(path, &virtual_bytes);
+    }
+    if let Some(path) = &cli.out {
+        write_file(path, &(beff_json::to_string_pretty(&report) + "\n"));
+    }
+    if let Some(golden) = &cli.golden {
+        let want = std::fs::read_to_string(golden).unwrap_or_else(|e| {
+            eprintln!("loadgen: cannot read golden {golden}: {e}");
+            std::process::exit(1);
+        });
+        if want != virtual_bytes {
+            eprintln!(
+                "loadgen: virtual metrics diverge from golden {golden} — determinism regression \
+                 (or an intended change: regenerate with --virtual-out)"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "loadgen: {} queries over {} unique specs ({} hits / {} misses in the mix)",
+        report.queries + report.unique.len(),
+        report.unique.len(),
+        report.mixed_hits,
+        report.mixed_misses,
+    );
+    println!(
+        "loadgen: hero {}x{} cold {:.3}s, cached {:.6}s → {:.0}× speedup",
+        hero.machine, hero.procs, hero_cold_secs, hero_hit_secs, speedup
+    );
+    println!("loadgen: audit — {audited} specs recomputed, all byte-identical to cache");
+    if speedup < 50.0 {
+        eprintln!("loadgen: FAIL — cache-hit speedup {speedup:.1}× is below the 50× gate");
+        std::process::exit(1);
+    }
+}
+
+/// The fixed spec universe: small partitions across machine families,
+/// one faulted spec, and the 512-rank hero last.
+fn ladder(hero_procs: usize) -> Vec<JobSpec> {
+    let mut fault = FaultCfg::none(7);
+    fault.severity = 0.5;
+    fault.degrade = true;
+    vec![
+        JobSpec::new("t3e", 16).with_seed(1),
+        JobSpec::new("t3e", 32).with_seed(2),
+        JobSpec::new("sr2201", 16).with_seed(3),
+        JobSpec::new("sx4", 8).with_seed(4),
+        JobSpec::new("ibm-sp", 16).with_seed(5),
+        JobSpec::new("sr8000-rr", 16).with_seed(6),
+        JobSpec::new("t3e", 16).with_seed(1).with_fault(fault),
+        JobSpec::new("t3e", hero_procs),
+    ]
+}
+
+/// The hero's headline number, read back out of its cached report.
+fn beff_of(server: &Server, spec: &JobSpec) -> f64 {
+    let outcome = server.submit(spec).expect("hero is valid");
+    let parsed = beff_json::parse(outcome.bytes.as_ref()).expect("cached reports are JSON");
+    let Json::Obj(fields) = parsed else { return f64::NAN };
+    for (name, value) in fields {
+        if name == "beff" {
+            return match value {
+                Json::Float(f) => f,
+                Json::UInt(n) => n as f64,
+                Json::Int(n) => n as f64,
+                _ => f64::NAN,
+            };
+        }
+    }
+    f64::NAN
+}
+
+struct Report {
+    workers: usize,
+    queries: usize,
+    hit_ratio: f64,
+    unique: Vec<JobSpec>,
+    hero: JobSpec,
+    hero_beff: f64,
+    audited: usize,
+    stats_entries: usize,
+    mixed_hits: u64,
+    mixed_misses: u64,
+    cold_secs: Vec<f64>,
+    hero_cold_secs: f64,
+    hero_hit_secs: f64,
+    speedup: f64,
+    latencies: Vec<f64>,
+    replay_secs: f64,
+    replayed: usize,
+}
+
+/// The deterministic half of the report: everything here is a pure
+/// function of the CLI arguments and the mix seed — independent of
+/// `BEFF_WORKERS`, host speed and wall time. The parity gate
+/// byte-compares it across worker counts; the golden gate across
+/// commits.
+struct VirtualSection<'r>(&'r Report);
+
+impl ToJson for VirtualSection<'_> {
+    fn to_json(&self) -> Json {
+        let r = self.0;
+        let specs: Vec<Json> = r
+            .unique
+            .iter()
+            .map(|s| {
+                let bytes = s.canonical_key();
+                Json::object()
+                    .field("digest", &s.key_digest())
+                    .field("machine", &s.machine)
+                    .field("procs", &s.procs)
+                    .field("schedule", s.schedule.as_str())
+                    .field("seed", &s.seed)
+                    .field("faulted", &s.fault.is_some())
+                    .field("key_bytes", &(bytes.len() as u64))
+                    .build()
+            })
+            .collect();
+        Json::object()
+            .field("schema", &1u32)
+            .field("mix_seed", &MIX_SEED)
+            .field("queries", &(r.queries as u64))
+            .field("hit_ratio", &r.hit_ratio)
+            .field("mixed_hits", &r.mixed_hits)
+            .field("mixed_misses", &r.mixed_misses)
+            .field("unique_specs", &(r.unique.len() as u64))
+            .field("cache_entries", &(r.stats_entries as u64))
+            .field("audited_identical", &(r.audited as u64))
+            .field("hero_digest", &r.hero.key_digest())
+            .field("hero_procs", &r.hero.procs)
+            .field("hero_beff", &r.hero_beff)
+            .raw("specs", Json::Arr(specs))
+            .build()
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        let mut lat = self.latencies.clone();
+        Json::object()
+            .raw("virtual", VirtualSection(self).to_json())
+            .raw(
+                "wall",
+                Json::object()
+                    .field("workers", &self.workers)
+                    .field("cold_total_secs", &self.cold_secs.iter().sum::<f64>())
+                    .field("hero_cold_secs", &self.hero_cold_secs)
+                    .field("hero_hit_secs", &self.hero_hit_secs)
+                    .field("hero_hit_speedup", &self.speedup)
+                    .field("mixed_p50_ms", &(percentile(&mut lat, 0.50) * 1e3))
+                    .field("mixed_p90_ms", &(percentile(&mut lat, 0.90) * 1e3))
+                    .field("mixed_p99_ms", &(percentile(&mut lat, 0.99) * 1e3))
+                    .field(
+                        "replay_hit_qps",
+                        &(self.replayed as f64 / self.replay_secs.max(1e-9)),
+                    )
+                    .build(),
+            )
+            .build()
+    }
+}
+
+fn percentile(sorted: &mut [f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    percentile(xs, 0.5)
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("loadgen: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// xorshift64*: a tiny seeded stream for the query mix (the simulation
+/// substrate's RNG is not imported here — the mix is harness policy,
+/// not model behavior).
+struct MixRng(u64);
+
+impl MixRng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+struct Cli {
+    out: Option<String>,
+    virtual_out: Option<String>,
+    golden: Option<String>,
+    queries: usize,
+    hit_ratio: f64,
+    hero_procs: usize,
+}
+
+impl Cli {
+    fn parse() -> Self {
+        let mut cli = Cli {
+            out: None,
+            virtual_out: None,
+            golden: None,
+            queries: 48,
+            hit_ratio: 0.5,
+            hero_procs: 512,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |i: usize| {
+                args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("loadgen: {} needs a value", args[i]);
+                    std::process::exit(2);
+                })
+            };
+            match args[i].as_str() {
+                "--out" => cli.out = Some(value(i)),
+                "--virtual-out" => cli.virtual_out = Some(value(i)),
+                "--golden" => cli.golden = Some(value(i)),
+                "--queries" => {
+                    cli.queries = value(i).parse().unwrap_or_else(|_| {
+                        eprintln!("loadgen: --queries needs an integer");
+                        std::process::exit(2);
+                    })
+                }
+                "--hit-ratio" => {
+                    cli.hit_ratio = value(i).parse().unwrap_or_else(|_| {
+                        eprintln!("loadgen: --hit-ratio needs a number in 0..=1");
+                        std::process::exit(2);
+                    })
+                }
+                "--hero-procs" => {
+                    cli.hero_procs = value(i).parse().unwrap_or_else(|_| {
+                        eprintln!("loadgen: --hero-procs needs an integer");
+                        std::process::exit(2);
+                    })
+                }
+                other => {
+                    eprintln!("loadgen: unknown flag {other:?}");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        }
+        cli
+    }
+}

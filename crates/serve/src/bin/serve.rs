@@ -1,0 +1,81 @@
+//! The resident daemon: TCP transport for the frame protocol.
+//!
+//! Connections are served one at a time on the accept thread — thread
+//! creation is quarantined to the substrate's worker pool
+//! (`beff-analyze` `threading` rule), and the daemon's parallelism
+//! already lives *inside* a request: a batch frame fans its misses out
+//! over `BEFF_WORKERS` simulation workers. A characterization service
+//! is compute-bound on misses and memcpy-bound on hits; concurrent
+//! transport would add nondeterministic interleaving for no
+//! throughput.
+//!
+//! ```text
+//! serve [--addr HOST:PORT]     # default 127.0.0.1:7433, or $BEFF_SERVE_ADDR
+//! ```
+//!
+//! A `{"op":"shutdown"}` frame stops the daemon after answering.
+
+use beff_serve::{wire, Server};
+use beff_sim::Workers;
+use std::net::TcpListener;
+
+fn main() {
+    let workers = match Workers::try_from_env() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let addr = addr_arg();
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("serve: listening on {addr} ({} workers)", workers.get());
+    let server = Server::new(workers);
+    for stream in listener.incoming() {
+        let mut stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: accept failed: {e}");
+                continue;
+            }
+        };
+        loop {
+            match wire::read_frame(&mut stream) {
+                Ok(Some(payload)) => {
+                    let (body, shutdown) = server.handle_frame(&payload);
+                    if let Err(e) = wire::write_frame(&mut stream, &body) {
+                        eprintln!("serve: write failed: {e}");
+                        break;
+                    }
+                    if shutdown {
+                        eprintln!("serve: shutdown requested");
+                        return;
+                    }
+                }
+                Ok(None) => break, // client closed cleanly
+                Err(e) => {
+                    eprintln!("serve: bad frame: {e}");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn addr_arg() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--addr") {
+        if let Some(v) = args.get(i + 1) {
+            return v.clone();
+        }
+        eprintln!("serve: --addr needs a HOST:PORT value");
+        std::process::exit(2);
+    }
+    std::env::var("BEFF_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7433".to_string())
+}

@@ -1,0 +1,141 @@
+//! Content-addressed result cache.
+//!
+//! Keys are the *full canonical spec bytes* ([`JobSpec::canonical_key`]
+//! (crate::JobSpec::canonical_key)) — not a digest — so a hit can never
+//! be a hash collision; digests exist only as short printable handles
+//! in reports. Values are the finished result report bytes, shared out
+//! as `Arc<str>` so a hit copies nothing.
+//!
+//! Because every simulation below the server is deterministic, a cache
+//! hit is **exact**: recomputing any cached spec must reproduce the
+//! stored bytes bit for bit. [`ResultCache::insert`] enforces that
+//! invariant on every insert race (two equal specs computed
+//! concurrently must agree), and the `loadgen` correctness audit
+//! re-proves it end-to-end for every spec in a run.
+
+use beff_sync::{order::Rank, Mutex};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lock level 14 (`serve.cache`): below every simulation-substrate
+/// lock, so holding it across a (never-intended) nested acquisition
+/// would still be hierarchy-clean; see DESIGN.md §8.
+static CACHE_RANK: Rank = Rank::new(14, "serve.cache");
+
+/// Monotonic hit/miss counters (a snapshot, not a transaction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+/// The content-addressed store: canonical spec bytes → result bytes.
+pub struct ResultCache {
+    entries: Mutex<BTreeMap<String, Arc<str>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResultCache {
+    pub fn new() -> Self {
+        Self {
+            entries: Mutex::ranked(&CACHE_RANK, BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look `key` up, counting the query as a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        let found = self.entries.lock().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Look `key` up without touching the counters (for audits).
+    pub fn peek(&self, key: &str) -> Option<Arc<str>> {
+        self.entries.lock().get(key).cloned()
+    }
+
+    /// Store a computed result, returning the shared bytes. If the key
+    /// is already present the existing entry wins — and the new bytes
+    /// must match it exactly: a disagreement means the determinism
+    /// contract underneath the cache is broken, which is a panic, not
+    /// a silent overwrite.
+    pub fn insert(&self, key: String, bytes: String) -> Arc<str> {
+        let mut entries = self.entries.lock();
+        if let Some(existing) = entries.get(key.as_str()) {
+            assert_eq!(
+                existing.as_ref(),
+                bytes.as_str(),
+                "cache integrity: recomputation of an existing key produced different bytes"
+            );
+            return Arc::clone(existing);
+        }
+        let shared: Arc<str> = bytes.into();
+        entries.insert(key, Arc::clone(&shared));
+        shared
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let c = ResultCache::new();
+        assert!(c.get("k").is_none());
+        c.insert("k".into(), "{\"beff\":1.0}".into());
+        let hit = c.get("k").expect("inserted");
+        assert_eq!(hit.as_ref(), "{\"beff\":1.0}");
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, entries: 1 });
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let c = ResultCache::new();
+        c.insert("k".into(), "v".into());
+        assert!(c.peek("k").is_some());
+        assert!(c.peek("other").is_none());
+        assert_eq!(c.stats(), CacheStats { hits: 0, misses: 0, entries: 1 });
+    }
+
+    #[test]
+    fn identical_reinsert_is_idempotent() {
+        let c = ResultCache::new();
+        let a = c.insert("k".into(), "v".into());
+        let b = c.insert("k".into(), "v".into());
+        assert!(Arc::ptr_eq(&a, &b), "the first entry is kept and shared");
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn conflicting_reinsert_panics() {
+        let c = ResultCache::new();
+        c.insert("k".into(), "v1".into());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.insert("k".into(), "v2".into());
+        }));
+        assert!(r.is_err(), "divergent bytes for one key must be loud");
+    }
+}

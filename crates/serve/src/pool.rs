@@ -1,0 +1,168 @@
+//! The session pool: resident simulated partitions, checked out per
+//! job and returned for reuse.
+//!
+//! A cold [`WorldSession`] spawn prices topology construction and
+//! route-table warmup; a server answering thousands of queries per
+//! partition shape must pay that once, not per query. The pool keeps
+//! idle partitions keyed by `(machine, procs)`; checkout pops one (or
+//! builds a fresh one when none is idle — under `map_ordered` fan-out
+//! each concurrent miss gets its own), and check-in returns it.
+//!
+//! Every pooled partition owns a **private** network instance, so two
+//! checkouts of the same shape can run on two worker threads without
+//! sharing link state; [`Partition::run`] resets that network before
+//! each run (measurements start from an idle machine), which is what
+//! makes a pooled run bit-identical to a cold one — pinned by the
+//! end-to-end recompute audit.
+//!
+//! Faulted jobs never touch the pool: a fault session is stateful
+//! across runs (crash times live on one accumulated timeline), so the
+//! server gives those jobs fresh single-use worlds instead.
+
+use crate::spec::JobSpec;
+use beff_core::beff::{run_beff, BeffConfig, BeffResult};
+use beff_machines::Machine;
+use beff_mpi::{World, WorldSession};
+use beff_netsim::MachineNet;
+use beff_sync::{order::Rank, Mutex};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Lock level 16 (`serve.pool`): above `serve.cache`, below every
+/// simulation-substrate lock (DESIGN.md §8). Held only around the
+/// idle-map push/pop, never across a world run.
+static POOL_RANK: Rank = Rank::new(16, "serve.pool");
+
+/// One resident simulated partition: sized machine model, private
+/// network, resident world session.
+pub struct Partition {
+    shape: String,
+    machine: Machine,
+    net: Arc<MachineNet>,
+    session: WorldSession,
+}
+
+impl Partition {
+    /// Build a cold partition for an already-sized machine model.
+    fn cold(machine: Machine, procs: usize) -> Self {
+        let net = machine.network();
+        let session = World::sim_partition(Arc::clone(&net), procs).session();
+        Self { shape: shape_key(machine.key, procs), machine, net, session }
+    }
+
+    /// The sized machine model this partition simulates.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Run one b_eff schedule from an idle network.
+    pub fn run(&self, cfg: &BeffConfig) -> BeffResult {
+        self.net.reset();
+        let cfg = cfg.clone();
+        let mut results = self.session.run(move |c| run_beff(c, &cfg));
+        results.swap_remove(0)
+    }
+}
+
+/// Idle partitions keyed by shape, plus a built-partitions counter
+/// (observability: `created() - idle_count()` partitions are currently
+/// checked out or dropped).
+pub struct SessionPool {
+    idle: Mutex<BTreeMap<String, Vec<Partition>>>,
+    created: AtomicUsize,
+}
+
+fn shape_key(machine: &str, procs: usize) -> String {
+    format!("{machine}/{procs}")
+}
+
+impl Default for SessionPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionPool {
+    pub fn new() -> Self {
+        Self { idle: Mutex::ranked(&POOL_RANK, BTreeMap::new()), created: AtomicUsize::new(0) }
+    }
+
+    /// Check a partition for `spec`'s shape out of the pool, building a
+    /// cold one if no idle partition matches. The caller must have
+    /// validated the spec ([`JobSpec::resolve`]) — this takes the sized
+    /// machine it returned.
+    pub fn checkout(&self, spec: &JobSpec, sized: &Machine) -> Partition {
+        let key = shape_key(&spec.machine, spec.procs);
+        if let Some(p) = self.idle.lock().get_mut(&key).and_then(Vec::pop) {
+            return p;
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
+        Partition::cold(sized.clone(), spec.procs)
+    }
+
+    /// Return a partition for reuse.
+    pub fn checkin(&self, partition: Partition) {
+        self.idle
+            .lock()
+            .entry(partition.shape.clone())
+            .or_default()
+            .push(partition);
+    }
+
+    /// Partitions built over the pool's lifetime.
+    pub fn created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Partitions currently idle in the pool.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_checked_in_partitions() {
+        let pool = SessionPool::new();
+        let spec = JobSpec::new("t3e", 4);
+        let sized = spec.resolve().expect("valid spec");
+        let p = pool.checkout(&spec, &sized);
+        assert_eq!(pool.created(), 1);
+        pool.checkin(p);
+        assert_eq!(pool.idle_count(), 1);
+        let _again = pool.checkout(&spec, &sized);
+        assert_eq!(pool.created(), 1, "idle partition reused, not rebuilt");
+        assert_eq!(pool.idle_count(), 0);
+    }
+
+    #[test]
+    fn distinct_shapes_pool_separately() {
+        let pool = SessionPool::new();
+        let small = JobSpec::new("t3e", 4);
+        let large = JobSpec::new("t3e", 8);
+        let p4 = pool.checkout(&small, &small.resolve().expect("valid"));
+        pool.checkin(p4);
+        let _p8 = pool.checkout(&large, &large.resolve().expect("valid"));
+        assert_eq!(pool.created(), 2, "8-rank job cannot reuse a 4-rank partition");
+        assert_eq!(pool.idle_count(), 1);
+    }
+
+    #[test]
+    fn pooled_run_is_bit_identical_to_cold_run() {
+        let spec = JobSpec::new("t3e", 4).with_seed(11);
+        let sized = spec.resolve().expect("valid spec");
+        let cfg = spec.beff_config(&sized);
+        let pool = SessionPool::new();
+        let p = pool.checkout(&spec, &sized);
+        let warm1 = beff_json::to_string(&p.run(&cfg));
+        let warm2 = beff_json::to_string(&p.run(&cfg));
+        pool.checkin(p);
+        let cold = beff_json::to_string(&Partition::cold(sized.clone(), 4).run(&cfg));
+        assert_eq!(warm1, warm2, "session reuse must not leak state between runs");
+        assert_eq!(warm1, cold, "pooled and cold runs must agree byte-for-byte");
+    }
+}

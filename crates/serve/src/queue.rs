@@ -1,0 +1,107 @@
+//! Admission queue: bounded buffering between query arrival and batch
+//! execution.
+//!
+//! The server's efficient unit of work is a *batch* — distinct misses
+//! fan out over the worker pool together ([`Server::submit_batch`]).
+//! [`Admission`] sits in front of it: queries accumulate in a bounded
+//! [`beff_sync::channel`] and are flushed as one batch when the queue
+//! fills (or on demand), which converts a stream of single queries
+//! into pool-sized batches with a hard cap on buffered work. The
+//! bound is the backpressure contract: an `enqueue` into a full queue
+//! flushes first, so a producer can never buffer unboundedly ahead of
+//! the simulator.
+
+use crate::server::{Outcome, Server};
+use crate::spec::{JobSpec, SpecError};
+use beff_sync::channel::{bounded, Receiver, Sender};
+
+/// A bounded spec queue in front of a [`Server`].
+pub struct Admission<'s> {
+    server: &'s Server,
+    tx: Sender<JobSpec>,
+    rx: Receiver<JobSpec>,
+    capacity: usize,
+    queued: usize,
+}
+
+impl<'s> Admission<'s> {
+    /// Queue up to `capacity` specs (≥ 1) before forcing a flush.
+    pub fn new(server: &'s Server, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let (tx, rx) = bounded(capacity);
+        Self { server, tx, rx, capacity, queued: 0 }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Specs currently buffered.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Admit one spec. If the queue is full, the buffered batch is
+    /// executed first and its outcomes returned (empty vector
+    /// otherwise — the spec is just buffered).
+    pub fn enqueue(&mut self, spec: JobSpec) -> Vec<Result<Outcome, SpecError>> {
+        let flushed =
+            if self.queued == self.capacity { self.flush() } else { Vec::new() };
+        self.tx.send(spec).expect("admission queue receiver lives as long as the sender");
+        self.queued += 1;
+        flushed
+    }
+
+    /// Execute everything buffered as one batch, in admission order.
+    pub fn flush(&mut self) -> Vec<Result<Outcome, SpecError>> {
+        let mut batch = Vec::with_capacity(self.queued);
+        while let Ok(spec) = self.rx.try_recv() {
+            batch.push(spec);
+        }
+        self.queued = 0;
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        self.server.submit_batch(&batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beff_sim::Workers;
+
+    #[test]
+    fn enqueue_buffers_until_capacity_then_flushes() {
+        let srv = Server::new(Workers::new(2));
+        let mut q = Admission::new(&srv, 3);
+        for i in 0..3 {
+            assert!(q.enqueue(JobSpec::new("t3e", 4).with_seed(i)).is_empty());
+        }
+        assert_eq!(q.queued(), 3);
+        // Fourth admission overflows: the three buffered specs run.
+        let flushed = q.enqueue(JobSpec::new("t3e", 4).with_seed(3));
+        assert_eq!(flushed.len(), 3);
+        assert_eq!(q.queued(), 1);
+        let rest = q.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(q.queued(), 0);
+        assert!(q.flush().is_empty(), "empty queue flushes to nothing");
+        assert_eq!(srv.cache_stats().entries, 4);
+    }
+
+    #[test]
+    fn flush_preserves_admission_order() {
+        let srv = Server::new(Workers::new(1));
+        let mut q = Admission::new(&srv, 8);
+        let specs: Vec<JobSpec> =
+            (0..4).map(|i| JobSpec::new("t3e", 4).with_seed(i)).collect();
+        for s in &specs {
+            q.enqueue(s.clone());
+        }
+        let outcomes = q.flush();
+        for (o, s) in outcomes.iter().zip(&specs) {
+            assert_eq!(o.as_ref().expect("valid").key, s.canonical_key());
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! The server core: admit specs, answer hits from the cache, fan
+//! misses out over the worker pool, and speak the frame payloads.
+//!
+//! [`Server`] is transport-agnostic — [`Server::handle_frame`] maps one
+//! request payload to one response payload, and the TCP daemon
+//! (`bin/serve.rs`), the load generator and the tests all drive the
+//! same entry points in-process.
+//!
+//! ## Request / response shapes
+//!
+//! ```text
+//! {"op":"run","spec":{…}}        → {"cached":…,"digest":"…","result":…}
+//! {"op":"batch","specs":[{…},…]} → {"results":[…one per spec, in order…]}
+//! {"op":"stats"}                 → {"hits":…,"misses":…,"entries":…,…}
+//! {"op":"shutdown"}              → {"ok":true}   (and the daemon exits)
+//! anything invalid               → {"error":"…"}
+//! ```
+//!
+//! `cached` means the result existed in the cache when the query was
+//! admitted; duplicates *within* one batch are deduplicated down to a
+//! single simulation but still count as misses (they were admitted
+//! before any result existed).
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::pool::SessionPool;
+use crate::spec::{JobSpec, SpecError};
+use beff_bench::resilient::ResilientRunner;
+use beff_json::Json;
+use beff_sim::{map_ordered, Workers};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One answered query.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Full canonical cache key (the content address).
+    pub key: String,
+    /// Short printable digest of the key.
+    pub digest: String,
+    /// The result report bytes (a JSON document).
+    pub bytes: Arc<str>,
+    /// Was the result already cached when the query was admitted?
+    pub cached: bool,
+}
+
+/// A resident benchmark server: session pool + result cache + worker
+/// fan-out. Shared-state only — safe to drive from `map_ordered`
+/// worker threads or a transport loop alike.
+pub struct Server {
+    pool: SessionPool,
+    cache: ResultCache,
+    workers: Workers,
+}
+
+impl Server {
+    pub fn new(workers: Workers) -> Self {
+        Self { pool: SessionPool::new(), cache: ResultCache::new(), workers }
+    }
+
+    pub fn workers(&self) -> Workers {
+        self.workers
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    pub fn pool(&self) -> &SessionPool {
+        &self.pool
+    }
+
+    /// Answer one spec (see [`Server::submit_batch`]).
+    pub fn submit(&self, spec: &JobSpec) -> Result<Outcome, SpecError> {
+        self.submit_batch(std::slice::from_ref(spec))
+            .pop()
+            .expect("one outcome per submitted spec")
+    }
+
+    /// Answer a batch of specs, in order. Hits come straight from the
+    /// cache; distinct misses run batch-parallel on up to
+    /// `workers` threads (submission-order fan-out, so the outcome
+    /// bytes are independent of the worker count); duplicate misses
+    /// within the batch are computed once.
+    pub fn submit_batch(&self, specs: &[JobSpec]) -> Vec<Result<Outcome, SpecError>> {
+        // Admission pass: validate, key, and classify each spec.
+        enum Admitted {
+            Hit(Outcome),
+            /// Miss (or duplicate of one): resolved at the index into
+            /// the miss list below.
+            Pending(String),
+            Refused(SpecError),
+        }
+        let mut admitted = Vec::with_capacity(specs.len());
+        let mut pending: BTreeMap<String, JobSpec> = BTreeMap::new();
+        for spec in specs {
+            match spec.resolve() {
+                Err(e) => admitted.push(Admitted::Refused(e)),
+                Ok(_sized) => {
+                    let key = spec.canonical_key();
+                    match self.cache.get(&key) {
+                        Some(bytes) => admitted.push(Admitted::Hit(Outcome {
+                            digest: spec.key_digest(),
+                            key,
+                            bytes,
+                            cached: true,
+                        })),
+                        None => {
+                            pending.entry(key.clone()).or_insert_with(|| spec.clone());
+                            admitted.push(Admitted::Pending(key));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Execution pass: every distinct missing key, batch-parallel.
+        let jobs: Vec<(String, JobSpec)> = pending.into_iter().collect();
+        let computed = map_ordered(self.workers, jobs, |_, (key, spec)| {
+            let bytes = self.execute(&spec);
+            (key, bytes)
+        });
+        for (key, bytes) in computed {
+            self.cache.insert(key, bytes);
+        }
+
+        // Assembly pass: outcomes in submission order.
+        admitted
+            .into_iter()
+            .zip(specs)
+            .map(|(a, spec)| match a {
+                Admitted::Hit(o) => Ok(o),
+                Admitted::Refused(e) => Err(e),
+                Admitted::Pending(key) => {
+                    let bytes = self
+                        .cache
+                        .peek(&key)
+                        .expect("every pending key was executed and inserted");
+                    Ok(Outcome { digest: spec.key_digest(), key, bytes, cached: false })
+                }
+            })
+            .collect()
+    }
+
+    /// Run a spec **bypassing the cache** (nothing read, nothing
+    /// stored): the correctness audit's tool for proving cached bytes
+    /// equal recomputed bytes.
+    pub fn recompute(&self, spec: &JobSpec) -> Result<String, SpecError> {
+        spec.resolve()?;
+        Ok(self.execute(spec))
+    }
+
+    /// Simulate one validated spec to its result report bytes.
+    ///
+    /// Clean specs run on a pooled resident partition. Specs with a
+    /// fault plan — even an all-disabled one — run the resilient driver
+    /// on a fresh single-use world instead: a fault session is stateful
+    /// across runs, and the resilient report is a different (richer)
+    /// schema, which must not depend on whether the plan happens to be
+    /// empty.
+    fn execute(&self, spec: &JobSpec) -> String {
+        let sized = spec
+            .resolve()
+            .expect("execute() is only called on specs that already resolved");
+        let cfg = spec.beff_config(&sized);
+        match &spec.fault {
+            None => {
+                let partition = self.pool.checkout(spec, &sized);
+                let result = partition.run(&cfg);
+                self.pool.checkin(partition);
+                beff_json::to_string(&result)
+            }
+            Some(fault) => {
+                let net = sized.network();
+                let plan = fault.to_fault_spec().materialize(&net);
+                let runner = ResilientRunner::on_net(net, spec.procs, plan);
+                beff_json::to_string(&runner.run(&cfg))
+            }
+        }
+    }
+
+    /// Map one request payload to one response payload. The `bool` is
+    /// the shutdown signal for a transport loop.
+    pub fn handle_frame(&self, payload: &str) -> (String, bool) {
+        let parsed = match beff_json::parse(payload) {
+            Ok(v) => v,
+            Err(e) => return (error_body(&format!("bad request JSON: {e}")), false),
+        };
+        let fields = match &parsed {
+            Json::Obj(fields) => fields,
+            _ => return (error_body("request must be a JSON object"), false),
+        };
+        let field = |name: &str| fields.iter().find(|(n, _)| n == name).map(|(_, v)| v);
+        let op = match field("op") {
+            Some(Json::Str(op)) => op.as_str(),
+            _ => return (error_body("request is missing a string \"op\""), false),
+        };
+        match op {
+            "run" => {
+                let Some(spec) = field("spec") else {
+                    return (error_body("\"run\" request is missing \"spec\""), false);
+                };
+                let outcome = JobSpec::from_json(spec).and_then(|s| self.submit(&s));
+                (outcome_body(&outcome), false)
+            }
+            "batch" => {
+                let Some(Json::Arr(items)) = field("specs") else {
+                    return (error_body("\"batch\" request is missing a \"specs\" array"), false);
+                };
+                let parsed: Vec<Result<JobSpec, SpecError>> =
+                    items.iter().map(JobSpec::from_json).collect();
+                let valid: Vec<JobSpec> =
+                    parsed.iter().filter_map(|r| r.as_ref().ok().cloned()).collect();
+                let mut answered = self.submit_batch(&valid).into_iter();
+                let bodies: Vec<String> = parsed
+                    .iter()
+                    .map(|r| match r {
+                        Ok(_) => outcome_body(
+                            &answered.next().expect("one outcome per valid spec"),
+                        ),
+                        Err(e) => error_body(&e.to_string()),
+                    })
+                    .collect();
+                (format!("{{\"results\":[{}]}}", bodies.join(",")), false)
+            }
+            "stats" => {
+                let s = self.cache_stats();
+                let body = format!(
+                    "{{\"hits\":{},\"misses\":{},\"entries\":{},\"partitions_built\":{},\"partitions_idle\":{}}}",
+                    s.hits,
+                    s.misses,
+                    s.entries,
+                    self.pool.created(),
+                    self.pool.idle_count(),
+                );
+                (body, false)
+            }
+            "shutdown" => ("{\"ok\":true}".to_string(), true),
+            other => (error_body(&format!("unknown op {other:?}")), false),
+        }
+    }
+}
+
+/// `{"cached":…,"digest":"…","result":…}` — the result bytes are a
+/// JSON document already, spliced in verbatim (never reparsed: the
+/// response must carry the exact cached bytes).
+fn outcome_body(outcome: &Result<Outcome, SpecError>) -> String {
+    match outcome {
+        Ok(o) => format!(
+            "{{\"cached\":{},\"digest\":\"{}\",\"result\":{}}}",
+            o.cached, o.digest, o.bytes
+        ),
+        Err(e) => error_body(&e.to_string()),
+    }
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\":{}}}", beff_json::to_string(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(Workers::new(2))
+    }
+
+    #[test]
+    fn miss_then_hit_returns_identical_shared_bytes() {
+        let srv = server();
+        let spec = JobSpec::new("t3e", 4);
+        let first = srv.submit(&spec).expect("valid spec");
+        assert!(!first.cached);
+        let second = srv.submit(&spec).expect("valid spec");
+        assert!(second.cached);
+        assert!(Arc::ptr_eq(&first.bytes, &second.bytes), "hit shares, not copies");
+        let s = srv.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn batch_deduplicates_and_preserves_order() {
+        let srv = server();
+        let a = JobSpec::new("t3e", 4);
+        let b = JobSpec::new("t3e", 4).with_seed(99);
+        let outcomes = srv.submit_batch(&[a.clone(), b.clone(), a.clone()]);
+        let [oa, ob, oa2] = <[_; 3]>::try_from(outcomes).expect("three outcomes");
+        let (oa, ob, oa2) =
+            (oa.expect("valid"), ob.expect("valid"), oa2.expect("valid"));
+        assert_eq!(oa.key, oa2.key);
+        assert_ne!(oa.key, ob.key, "seed change must miss");
+        assert_eq!(oa.bytes, oa2.bytes);
+        assert_eq!(srv.cache_stats().entries, 2, "duplicate computed once");
+    }
+
+    #[test]
+    fn invalid_spec_refused_without_poisoning_the_batch() {
+        let srv = server();
+        let good = JobSpec::new("t3e", 4);
+        let bad = JobSpec::new("nope", 4);
+        let outcomes = srv.submit_batch(&[bad, good]);
+        assert!(matches!(outcomes[0], Err(SpecError::UnknownMachine(_))));
+        assert!(outcomes[1].is_ok());
+    }
+
+    #[test]
+    fn recompute_matches_cached_bytes() {
+        let srv = server();
+        let spec = JobSpec::new("t3e", 4).with_seed(5);
+        let cached = srv.submit(&spec).expect("valid spec");
+        let fresh = srv.recompute(&spec).expect("valid spec");
+        assert_eq!(cached.bytes.as_ref(), fresh.as_str());
+    }
+
+    #[test]
+    fn frames_round_trip_the_protocol() {
+        let srv = server();
+        let (body, stop) =
+            srv.handle_frame(r#"{"op":"run","spec":{"machine":"t3e","procs":4}}"#);
+        assert!(!stop);
+        assert!(body.starts_with("{\"cached\":false,"), "{body}");
+        let parsed = beff_json::parse(&body).expect("response is valid JSON");
+        let Json::Obj(fields) = parsed else { panic!("object response") };
+        assert!(fields.iter().any(|(n, _)| n == "result"));
+
+        let (body, _) =
+            srv.handle_frame(r#"{"op":"run","spec":{"machine":"t3e","procs":4}}"#);
+        assert!(body.starts_with("{\"cached\":true,"), "{body}");
+
+        let (body, _) = srv.handle_frame(r#"{"op":"stats"}"#);
+        assert!(body.contains("\"entries\":1"), "{body}");
+
+        let (body, _) = srv.handle_frame(r#"{"op":"run","spec":{"machine":"t3e"}}"#);
+        assert!(body.starts_with("{\"error\":"), "{body}");
+
+        let (body, _) = srv.handle_frame("not json");
+        assert!(body.starts_with("{\"error\":"), "{body}");
+
+        let (_, stop) = srv.handle_frame(r#"{"op":"shutdown"}"#);
+        assert!(stop);
+    }
+
+    #[test]
+    fn worker_count_is_unobservable_in_outcome_bytes() {
+        let specs: Vec<JobSpec> =
+            (0..4).map(|i| JobSpec::new("t3e", 4).with_seed(100 + i)).collect();
+        let serial: Vec<_> = Server::new(Workers::new(1))
+            .submit_batch(&specs)
+            .into_iter()
+            .map(|o| o.expect("valid").bytes)
+            .collect();
+        let parallel: Vec<_> = Server::new(Workers::new(4))
+            .submit_batch(&specs)
+            .into_iter()
+            .map(|o| o.expect("valid").bytes)
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for cache-key canonicalization (ISSUE 8 satellite):
+//! the content address of a job must depend on *what* the job is, and
+//! on nothing else — not builder call order, not wire field order —
+//! while any semantic change (a single seed bit) must change it.
+
+use beff_check::{check, Gen};
+use beff_json::Json;
+use beff_serve::{FaultCfg, JobSpec, Schedule};
+
+/// A random valid-shaped spec (machine keys drawn from the catalog
+/// names; validity against partition bounds is irrelevant to keying).
+fn arbitrary_spec(g: &mut Gen) -> JobSpec {
+    let machines = ["t3e", "sr8000-rr", "sr8000-seq", "sr2201", "sx5", "sx4", "ibm-sp"];
+    let mut spec = JobSpec::new(machines[g.usize(0..=machines.len() - 1)], g.usize(2..=512));
+    if g.bool() {
+        spec = spec.with_schedule(Schedule::Paper);
+    }
+    spec = spec.with_seed(g.u64(0..=u64::MAX)).with_extras(g.bool());
+    if g.bool() {
+        let mut f = FaultCfg::none(g.u64(0..=u64::MAX));
+        f.severity = g.unit_f64();
+        f.degrade = g.bool();
+        f.flapping = g.bool();
+        f.stragglers = g.usize(0..=4);
+        f.drops = g.bool();
+        f.crashes = g.usize(0..=2);
+        f.dead_links = g.usize(0..=2);
+        spec = spec.with_fault(f);
+    }
+    spec
+}
+
+/// The spec's wire object with its fields (and any nested fault
+/// fields) in a random order.
+fn shuffled_wire(g: &mut Gen, spec: &JobSpec) -> Json {
+    fn shuffle_obj(g: &mut Gen, v: Json) -> Json {
+        match v {
+            Json::Obj(mut fields) => {
+                for f in &mut fields {
+                    f.1 = shuffle_obj(g, std::mem::replace(&mut f.1, Json::Null));
+                }
+                let order = g.permutation(fields.len());
+                let mut slots: Vec<Option<(String, Json)>> =
+                    fields.into_iter().map(Some).collect();
+                Json::Obj(
+                    order
+                        .into_iter()
+                        .map(|i| slots[i].take().expect("permutation visits each index once"))
+                        .collect(),
+                )
+            }
+            other => other,
+        }
+    }
+    shuffle_obj(g, beff_json::ToJson::to_json(spec))
+}
+
+#[test]
+fn canonical_key_is_field_order_independent() {
+    check("canonical_key_is_field_order_independent", |g| {
+        let spec = arbitrary_spec(g);
+        let a = JobSpec::from_json(&shuffled_wire(g, &spec)).expect("own wire form parses");
+        let b = JobSpec::from_json(&shuffled_wire(g, &spec)).expect("own wire form parses");
+        assert_eq!(a, spec, "parsing is order-insensitive");
+        assert_eq!(
+            a.canonical_key(),
+            b.canonical_key(),
+            "two field orders of one spec must share a cache key"
+        );
+        assert_eq!(a.key_digest(), spec.key_digest());
+    });
+}
+
+#[test]
+fn canonical_key_survives_a_serialize_parse_cycle() {
+    check("canonical_key_survives_a_serialize_parse_cycle", |g| {
+        let spec = arbitrary_spec(g);
+        let wire = beff_json::to_string(&spec);
+        let back =
+            JobSpec::from_json(&beff_json::parse(&wire).expect("own output parses"))
+                .expect("own output is a valid spec");
+        assert_eq!(spec.canonical_key(), back.canonical_key());
+    });
+}
+
+#[test]
+fn one_seed_bit_misses() {
+    check("one_seed_bit_misses", |g| {
+        let spec = arbitrary_spec(g);
+        let bit = 1u64 << g.u32(0..=63);
+        let flipped = spec.clone().with_seed(spec.seed ^ bit);
+        assert_ne!(
+            spec.canonical_key(),
+            flipped.canonical_key(),
+            "a one-bit seed change must be a different content address"
+        );
+    });
+}
+
+#[test]
+fn one_fault_seed_bit_misses() {
+    check("one_fault_seed_bit_misses", |g| {
+        let mut spec = arbitrary_spec(g);
+        let mut fault = spec.fault.clone().unwrap_or_else(|| FaultCfg::none(g.u64(0..=1 << 40)));
+        spec = spec.clone().with_fault(fault.clone());
+        let before = spec.canonical_key();
+        fault.seed ^= 1u64 << g.u32(0..=63);
+        let after = spec.with_fault(fault).canonical_key();
+        assert_ne!(before, after, "fault seeds are part of the content address");
+    });
+}
+
+#[test]
+fn distinct_specs_get_distinct_keys() {
+    check("distinct_specs_get_distinct_keys", |g| {
+        let a = arbitrary_spec(g);
+        let b = arbitrary_spec(g);
+        if a != b {
+            assert_ne!(a.canonical_key(), b.canonical_key());
+        } else {
+            assert_eq!(a.canonical_key(), b.canonical_key());
+        }
+    });
+}

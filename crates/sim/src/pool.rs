@@ -10,37 +10,98 @@
 //! submission order**, so the output is byte-identical to the serial
 //! map regardless of how the host scheduler interleaved the jobs.
 //!
-//! `Workers::from_env()` reads `BEFF_WORKERS` (default: host cores);
-//! `BEFF_WORKERS=1` takes the inline path — no threads are spawned at
-//! all, which *is* the pre-existing serial behavior, not an emulation
-//! of it. The `beff-analyze` `threading` rule quarantines thread
-//! creation to this crate, so every parallel call site in the workspace
-//! funnels through here.
+//! `Workers::try_from_env()` reads `BEFF_WORKERS` (default: host
+//! cores); `BEFF_WORKERS=1` takes the inline path — no threads are
+//! spawned at all, which *is* the pre-existing serial behavior, not an
+//! emulation of it. A set-but-invalid value (`0`, garbage) is a typed
+//! [`WorkersError`], never a silent fallback. The `beff-analyze`
+//! `threading` rule quarantines thread creation to this crate, so
+//! every parallel call site in the workspace funnels through here.
 
 use beff_sync::Mutex;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A `BEFF_WORKERS` value that cannot configure a pool. Surfaced as a
+/// typed error so drivers can print one clear line and exit instead of
+/// panicking mid-run — and so a typo never silently falls back to some
+/// other worker count (a silent fallback would *change the machine
+/// load* behind the user's back, even though results are byte-identical
+/// at every worker count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkersError {
+    /// `BEFF_WORKERS=0`: there is no zero-thread pool. `1` is the
+    /// serial path; `0` is always a mistake, not a request.
+    Zero,
+    /// Not a base-10 unsigned integer (the offending text is carried).
+    Invalid(String),
+}
+
+impl fmt::Display for WorkersError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkersError::Zero => {
+                write!(f, "BEFF_WORKERS=0 is invalid: use 1 for the serial path, or unset it for host cores")
+            }
+            WorkersError::Invalid(raw) => {
+                write!(f, "BEFF_WORKERS={raw:?} is not a worker count: expected a positive integer (e.g. BEFF_WORKERS=4), or unset for host cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkersError {}
 
 /// A validated worker count (≥ 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Workers(usize);
 
 impl Workers {
-    /// An explicit worker count; `0` is clamped to `1` (serial).
+    /// An explicit worker count; `0` is clamped to `1` (serial). This
+    /// is the *programmatic* constructor — env input goes through
+    /// [`Workers::try_from_env`], where `0` is a typed error instead.
     pub fn new(n: usize) -> Self {
         Self(n.max(1))
     }
 
-    /// The `BEFF_WORKERS` environment knob: unset or unparsable falls
-    /// back to the host's available parallelism (`1` on failure).
-    /// `BEFF_WORKERS=1` is the serial path.
-    pub fn from_env() -> Self {
-        if let Ok(v) = std::env::var("BEFF_WORKERS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return Self::new(n);
+    /// Parse a worker count the way the `BEFF_WORKERS` knob is read:
+    /// a positive base-10 integer. `0`, empty, and garbage are typed
+    /// [`WorkersError`]s — never a panic, never a silent fallback.
+    pub fn parse(raw: &str) -> Result<Self, WorkersError> {
+        let t = raw.trim();
+        match t.parse::<usize>() {
+            Ok(0) => Err(WorkersError::Zero),
+            Ok(n) => Ok(Self(n)),
+            Err(_) => Err(WorkersError::Invalid(t.to_string())),
+        }
+    }
+
+    /// The `BEFF_WORKERS` environment knob as a typed result: unset
+    /// defaults to the host's available parallelism (`1` if the host
+    /// won't say); set-but-invalid is a [`WorkersError`]. Front-end
+    /// binaries should call this once at startup and report the error
+    /// cleanly (the `beff-serve` bins do).
+    pub fn try_from_env() -> Result<Self, WorkersError> {
+        match std::env::var("BEFF_WORKERS") {
+            Ok(v) => Self::parse(&v),
+            Err(_) => {
+                let host =
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+                Ok(Self::new(host))
             }
         }
-        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self::new(host)
+    }
+
+    /// [`Workers::try_from_env`] for construction paths that cannot
+    /// return a `Result` (engine defaults deep inside world builders).
+    /// An invalid `BEFF_WORKERS` panics with the typed error's message
+    /// — loud and exact, where the pre-fix behavior silently fell back
+    /// to host cores on garbage and clamped `0` to `1`.
+    pub fn from_env() -> Self {
+        match Self::try_from_env() {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     #[inline]
@@ -127,6 +188,47 @@ mod tests {
         assert_eq!(Workers::new(0).get(), 1);
         assert!(Workers::new(1).is_serial());
         assert_eq!(Workers::new(8).get(), 8);
+    }
+
+    #[test]
+    fn env_shaped_parsing_is_typed() {
+        assert_eq!(Workers::parse("4"), Ok(Workers::new(4)));
+        assert_eq!(Workers::parse(" 2 "), Ok(Workers::new(2)));
+        assert_eq!(Workers::parse("0"), Err(WorkersError::Zero));
+        assert_eq!(Workers::parse(""), Err(WorkersError::Invalid(String::new())));
+        assert_eq!(Workers::parse("eight"), Err(WorkersError::Invalid("eight".into())));
+        assert_eq!(Workers::parse("-3"), Err(WorkersError::Invalid("-3".into())));
+        assert_eq!(Workers::parse("4.5"), Err(WorkersError::Invalid("4.5".into())));
+    }
+
+    #[test]
+    fn workers_errors_explain_themselves() {
+        let zero = WorkersError::Zero.to_string();
+        assert!(zero.contains("BEFF_WORKERS=0") && zero.contains("serial"), "{zero}");
+        let bad = Workers::parse("lots").expect_err("garbage must not parse").to_string();
+        assert!(bad.contains("lots") && bad.contains("positive integer"), "{bad}");
+    }
+
+    /// The one env-mutating test: `from_env` must surface the typed
+    /// message on garbage and honor valid values. Kept as a single test
+    /// so the env var is never raced by a parallel test thread.
+    #[test]
+    fn from_env_honors_and_rejects() {
+        // SAFETY-adjacent note: no other test in this binary touches
+        // BEFF_WORKERS; set/remove pairs stay within this test.
+        std::env::set_var("BEFF_WORKERS", "3");
+        assert_eq!(Workers::try_from_env(), Ok(Workers::new(3)));
+        assert_eq!(Workers::from_env().get(), 3);
+        std::env::set_var("BEFF_WORKERS", "zero");
+        assert_eq!(
+            Workers::try_from_env(),
+            Err(WorkersError::Invalid("zero".into()))
+        );
+        let p = std::panic::catch_unwind(Workers::from_env).expect_err("must panic");
+        let msg = p.downcast_ref::<String>().expect("panic carries the typed message");
+        assert!(msg.contains("BEFF_WORKERS"), "{msg}");
+        std::env::remove_var("BEFF_WORKERS");
+        assert!(Workers::try_from_env().expect("unset env is the host default").get() >= 1);
     }
 
     #[test]

@@ -89,6 +89,33 @@ run_gate "storage-sweep (non-MPI substrate workload)" 120 \
     cargo run -q --offline --release -p beff-sweep --bin storage_sweep -- \
     --check --out target/storage_sweep.verify.json
 
+# the serving layer (DESIGN.md §11): the loadgen binary replays a
+# seeded query mix against an in-process server and fails itself if
+# any cached result differs byte-for-byte from a fresh recomputation
+# (the audit phase) or if the hero hit path is < 50x faster than its
+# cold run. The virtual section of its report — everything except the
+# honest wall timings — must replay byte-identically against the
+# committed golden, and must not change when the worker pool does.
+run_gate "serve loadgen (cache correctness + golden, BEFF_WORKERS=1)" 600 \
+    env BEFF_WORKERS=1 cargo run -q --offline --release -p beff-serve --bin loadgen -- \
+    --out target/BENCH_SERVE.verify.json \
+    --virtual-out target/serve.virtual.w1.json --golden results/serve_virtual.json
+run_gate "serve parallel-parity (virtual section, BEFF_WORKERS=4)" 600 \
+    env BEFF_WORKERS=4 cargo run -q --offline --release -p beff-serve --bin loadgen -- \
+    --out target/BENCH_SERVE.parity.json \
+    --virtual-out target/serve.virtual.w4.json --golden results/serve_virtual.json
+run_gate "serve parallel-parity (w1 vs w4 bytes)" 60 \
+    cmp target/serve.virtual.w1.json target/serve.virtual.w4.json
+
+echo "== BENCH_SERVE.json gate =="
+# the committed serving baseline must exist and parse
+if [ ! -f BENCH_SERVE.json ]; then
+    echo "FAIL: BENCH_SERVE.json missing (run: cargo run --release -p beff-serve --bin loadgen -- --out BENCH_SERVE.json)" >&2
+    exit 1
+fi
+run_gate "BENCH_SERVE.json parse" 120 \
+    cargo run -q --offline --release -p beff-bench --bin json_check -- BENCH_SERVE.json target/BENCH_SERVE.verify.json
+
 echo "== BENCH_SIM.json gate =="
 # the committed full baseline must exist and parse, and so must the
 # freshly produced scratch run

@@ -39,6 +39,9 @@
 //! * [`core`] — the two benchmarks themselves,
 //! * [`machines`] — calibrated models (T3E, SP, SR 8000, SX-5, …),
 //! * [`report`] — tables / pseudo-log charts / CSV / JSON dumps,
+//! * [`serve`] — resident benchmark daemon: job queue, pooled resident
+//!   worlds, content-addressed result cache (exact hits, by
+//!   determinism),
 //! * [`sync`] — in-tree locks, condvars and MPMC channels over
 //!   `std::sync` (no registry dependencies anywhere in the stack),
 //! * [`json`] — in-tree JSON value model and serde_json-compatible
@@ -53,5 +56,6 @@ pub use beff_mpiio as mpiio;
 pub use beff_netsim as netsim;
 pub use beff_pfs as pfs;
 pub use beff_report as report;
+pub use beff_serve as serve;
 pub use beff_sim as sim;
 pub use beff_sync as sync;
