@@ -23,11 +23,14 @@ pub const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["sync", "bench", "analyze"];
 /// Individual files exempt from the wall-clock rule (workspace-relative
 /// path suffixes). `sim/src/clock.rs` is *the* virtual-time module: it
 /// owns the only sanctioned mapping between simulated seconds and host
-/// time. `serve`'s load generator measures serving latency — honest
-/// wall timings, reported but never gated on — while the library it
-/// drives stays clock-free.
-pub const WALLCLOCK_EXEMPT_FILES: &[&str] =
-    &["crates/sim/src/clock.rs", "crates/serve/src/bin/loadgen.rs"];
+/// time. `serve`'s load generator and torture harness report honest
+/// wall timings — reported but never gated on — while the library they
+/// drive stays clock-free.
+pub const WALLCLOCK_EXEMPT_FILES: &[&str] = &[
+    "crates/sim/src/clock.rs",
+    "crates/serve/src/bin/loadgen.rs",
+    "crates/serve/src/bin/serve_torture.rs",
+];
 
 /// Identifiers whose appearance in deterministic code means a wall
 /// clock or host-scheduling dependency.
@@ -123,7 +126,7 @@ pub const UNWRAP_BUDGETS: &[(&str, u32)] = &[
     ("netsim", 7),
     ("pfs", 19),
     ("report", 4),
-    ("serve", 57),
+    ("serve", 144),
     ("sim", 18),
     ("sweep", 4),
     ("sync", 3),
@@ -151,8 +154,10 @@ pub struct LockDecl {
 ///
 /// | level | lock                         | guards                         |
 /// |-------|------------------------------|--------------------------------|
+/// | 12    | `serve.journal`              | durable result-journal file    |
+/// | 13    | `serve.drain`                | admission flag + in-flight count |
 /// | 14    | `serve.cache`                | content-addressed result map   |
-/// | 16    | `serve.pool`                 | idle resident-partition stacks |
+/// | 16    | `serve.pool`                 | idle partitions + armed poisons |
 /// | 20    | `mpi.boards`                 | collective rendezvous boards   |
 /// | 25    | `shard.state`                | one shard's cross-shard outbox |
 /// | 30    | `sim.port`                   | one actor's port state         |
@@ -170,11 +175,28 @@ pub struct LockDecl {
 /// returns, so its level only has to clear the locks a coordinator may
 /// still hold — none.
 ///
-/// The serve daemon's two locks sit *below* the whole simulation stack:
-/// they bracket map pushes/pops on the request path and are always
-/// released before a simulation runs, so any accidental nesting of a
-/// serve lock around a sim lock is still hierarchy-increasing.
+/// The serve daemon's locks sit *below* the whole simulation stack:
+/// they bracket map pushes/pops, journal appends and counter flips on
+/// the request path and are always released before a simulation runs,
+/// so any accidental nesting of a serve lock around a sim lock is
+/// still hierarchy-increasing. `serve.journal` is lowest — an append
+/// happens while nothing else is held; `serve.drain` brackets only the
+/// admission flag and in-flight counter around a batch.
 pub const LOCK_HIERARCHY: &[LockDecl] = &[
+    LockDecl {
+        file_suffix: "crates/serve/src/journal.rs",
+        receiver: "file",
+        methods: &["lock"],
+        level: 12,
+        name: "serve.journal",
+    },
+    LockDecl {
+        file_suffix: "crates/serve/src/server.rs",
+        receiver: "drain",
+        methods: &["lock"],
+        level: 13,
+        name: "serve.drain",
+    },
     LockDecl {
         file_suffix: "crates/serve/src/cache.rs",
         receiver: "entries",
@@ -184,7 +206,7 @@ pub const LOCK_HIERARCHY: &[LockDecl] = &[
     },
     LockDecl {
         file_suffix: "crates/serve/src/pool.rs",
-        receiver: "idle",
+        receiver: "state",
         methods: &["lock"],
         level: 16,
         name: "serve.pool",

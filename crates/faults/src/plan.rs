@@ -318,6 +318,16 @@ impl FaultPlan {
         self.crashes.iter().find(|c| c.rank == rank).map(|c| c.at)
     }
 
+    /// A plan whose only content is `rank` dying at virtual t=0: the
+    /// canonical *world poison*. Any run under this plan raises a typed
+    /// [`BeffError::RankCrashed`](beff_sim::BeffError) before the first
+    /// message moves — the serve layer's quarantine harness uses it to
+    /// damage a pooled world deterministically and prove the pool
+    /// rebuilds fresh state (DESIGN.md §12).
+    pub fn instant_crash(rank: usize) -> Self {
+        Self { crashes: vec![Crash { rank, at: 0.0 }], ..Self::empty() }
+    }
+
     /// Whether the wire-fault prologue (drops/dead routes) must run at
     /// all for sends.
     pub fn has_wire_faults(&self) -> bool {

@@ -149,6 +149,20 @@ fn main() {
         audited += 1;
     }
 
+    // Audit the serving-layer health counters too: a clean loadgen run
+    // injects no poisons and sheds nothing, so any nonzero here means
+    // the self-healing or load-shedding path fired when it must not
+    // have (the torture harness is where those paths are exercised).
+    let quarantined = server.pool().quarantined();
+    let shed = server.shed_jobs();
+    if quarantined != 0 || shed != 0 {
+        eprintln!(
+            "loadgen: HEALTH COUNTER FAILURE — quarantined_worlds={quarantined}, \
+             shed_jobs={shed} on a clean run (both must be 0)"
+        );
+        std::process::exit(1);
+    }
+
     let stats = server.cache_stats();
     let report = Report {
         workers: workers.get(),
@@ -159,6 +173,10 @@ fn main() {
         hero_beff: beff_of(&server, &hero),
         audited,
         stats_entries: stats.entries,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        quarantined,
+        shed,
         mixed_hits: hits,
         mixed_misses: misses,
         cold_secs,
@@ -254,6 +272,10 @@ struct Report {
     hero_beff: f64,
     audited: usize,
     stats_entries: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    quarantined: u64,
+    shed: u64,
     mixed_hits: u64,
     mixed_misses: u64,
     cold_secs: Vec<f64>,
@@ -291,8 +313,17 @@ impl ToJson for VirtualSection<'_> {
                     .build()
             })
             .collect();
+        // Serving-layer health counters: every submission in this
+        // harness is serial (queue flushes batch at a time), so the
+        // counts are a pure function of the mix — worker-sweep stable.
+        let counters = Json::object()
+            .field("cache_hits", &r.cache_hits)
+            .field("cache_misses", &r.cache_misses)
+            .field("quarantined_worlds", &r.quarantined)
+            .field("shed_jobs", &r.shed)
+            .build();
         Json::object()
-            .field("schema", &1u32)
+            .field("schema", &2u32)
             .field("mix_seed", &MIX_SEED)
             .field("queries", &(r.queries as u64))
             .field("hit_ratio", &r.hit_ratio)
@@ -304,6 +335,7 @@ impl ToJson for VirtualSection<'_> {
             .field("hero_digest", &r.hero.key_digest())
             .field("hero_procs", &r.hero.procs)
             .field("hero_beff", &r.hero_beff)
+            .raw("counters", counters)
             .raw("specs", Json::Arr(specs))
             .build()
     }

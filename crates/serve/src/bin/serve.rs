@@ -10,14 +10,28 @@
 //! throughput.
 //!
 //! ```text
-//! serve [--addr HOST:PORT]     # default 127.0.0.1:7433, or $BEFF_SERVE_ADDR
+//! serve [--addr HOST:PORT] [--journal PATH]
+//! #       default 127.0.0.1:7433, or $BEFF_SERVE_ADDR
 //! ```
 //!
-//! A `{"op":"shutdown"}` frame stops the daemon after answering.
+//! With `--journal`, results are shadowed in a durable append-only
+//! journal and replayed into the cache on startup: a killed-and
+//! restarted daemon serves every previously-computed spec from disk,
+//! byte-identical, without recomputation (a torn final record from a
+//! mid-append kill is healed away with a typed report). A `{"op":
+//! "shutdown"}` frame drains in-flight work and stops the daemon.
+//!
+//! The accept loop survives everything a peer can throw at it —
+//! malformed frames, lying length prefixes, mid-frame disconnects —
+//! by delegating each connection to
+//! [`serve_connection`](beff_serve::serve_connection): every close is
+//! typed, protocol offenders get a `{"error":…}` goodbye frame, and
+//! only an explicit shutdown op ends the process.
 
-use beff_serve::{wire, Server};
+use beff_serve::{serve_connection, ConnClose, Server};
 use beff_sim::Workers;
 use std::net::TcpListener;
+use std::path::PathBuf;
 
 fn main() {
     let workers = match Workers::try_from_env() {
@@ -27,16 +41,36 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let addr = addr_arg();
-    let listener = match TcpListener::bind(&addr) {
+    let args = parse_args();
+    let server = match &args.journal {
+        None => Server::new(workers),
+        Some(path) => match Server::with_journal(workers, path) {
+            Ok((server, recovery)) => {
+                eprintln!(
+                    "serve: journal {} replayed: {} records ({} bytes)",
+                    path.display(),
+                    recovery.recovered,
+                    recovery.bytes
+                );
+                if let Some(t) = &recovery.truncated {
+                    eprintln!("serve: journal tail healed: {t}");
+                }
+                server
+            }
+            Err(e) => {
+                eprintln!("serve: cannot open journal {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+    };
+    let listener = match TcpListener::bind(&args.addr) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!("serve: cannot bind {addr}: {e}");
+            eprintln!("serve: cannot bind {}: {e}", args.addr);
             std::process::exit(1);
         }
     };
-    eprintln!("serve: listening on {addr} ({} workers)", workers.get());
-    let server = Server::new(workers);
+    eprintln!("serve: listening on {} ({} workers)", args.addr, workers.get());
     for stream in listener.incoming() {
         let mut stream = match stream {
             Ok(s) => s,
@@ -45,37 +79,36 @@ fn main() {
                 continue;
             }
         };
-        loop {
-            match wire::read_frame(&mut stream) {
-                Ok(Some(payload)) => {
-                    let (body, shutdown) = server.handle_frame(&payload);
-                    if let Err(e) = wire::write_frame(&mut stream, &body) {
-                        eprintln!("serve: write failed: {e}");
-                        break;
-                    }
-                    if shutdown {
-                        eprintln!("serve: shutdown requested");
-                        return;
-                    }
-                }
-                Ok(None) => break, // client closed cleanly
-                Err(e) => {
-                    eprintln!("serve: bad frame: {e}");
-                    break;
-                }
+        match serve_connection(&server, &mut stream) {
+            ConnClose::Clean => {}
+            ConnClose::Protocol(report) => eprintln!("serve: {report}"),
+            ConnClose::Transport(report) => eprintln!("serve: {report}"),
+            ConnClose::Shutdown => {
+                eprintln!("serve: shutdown requested; drained");
+                return;
             }
         }
     }
 }
 
-fn addr_arg() -> String {
+struct Args {
+    addr: String,
+    journal: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
     let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--addr") {
-        if let Some(v) = args.get(i + 1) {
-            return v.clone();
-        }
-        eprintln!("serve: --addr needs a HOST:PORT value");
-        std::process::exit(2);
-    }
-    std::env::var("BEFF_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7433".to_string())
+    let value_of = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).map(|i| match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("serve: {flag} needs a value");
+                std::process::exit(2);
+            }
+        })
+    };
+    let addr = value_of("--addr")
+        .or_else(|| std::env::var("BEFF_SERVE_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:7433".to_string());
+    Args { addr, journal: value_of("--journal").map(PathBuf::from) }
 }

@@ -74,6 +74,14 @@ impl ResultCache {
     /// contract underneath the cache is broken, which is a panic, not
     /// a silent overwrite.
     pub fn insert(&self, key: String, bytes: String) -> Arc<str> {
+        self.insert_if_absent(key, bytes).0
+    }
+
+    /// [`insert`](Self::insert), also reporting whether the key was
+    /// new (`true`) or an existing entry won (`false`). The journal
+    /// appends exactly the fresh inserts, so replay never sees
+    /// redundant records from re-computed hits.
+    pub fn insert_if_absent(&self, key: String, bytes: String) -> (Arc<str>, bool) {
         let mut entries = self.entries.lock();
         if let Some(existing) = entries.get(key.as_str()) {
             assert_eq!(
@@ -81,11 +89,11 @@ impl ResultCache {
                 bytes.as_str(),
                 "cache integrity: recomputation of an existing key produced different bytes"
             );
-            return Arc::clone(existing);
+            return (Arc::clone(existing), false);
         }
         let shared: Arc<str> = bytes.into();
         entries.insert(key, Arc::clone(&shared));
-        shared
+        (shared, true)
     }
 
     pub fn stats(&self) -> CacheStats {

@@ -24,17 +24,26 @@
 //!   fault plan; canonically serialized, it *is* the cache key,
 //! * [`wire`] — 4-byte length-prefixed JSON frames,
 //! * [`cache`] — content-addressed result store (exact hits),
+//! * [`journal`] — durable append-only shadow of the cache, replayed
+//!   on startup so a restarted daemon serves old results from disk,
 //! * [`pool`] — resident [`Partition`](pool::Partition)s, checked out
-//!   per job,
-//! * [`queue`] — bounded admission queue batching queries,
+//!   per job, quarantined when a run exits through a typed fault,
+//! * [`queue`] — bounded admission queue with deadline/shed policy,
 //! * [`server`] — the transport-agnostic core tying them together.
 //!
-//! Binaries: `serve` (TCP daemon over the frame protocol) and
-//! `loadgen` (seeded query-mix replay against an in-process server,
-//! emitting the `BENCH_SERVE.json` throughput/latency report that
-//! `verify.sh` gates).
+//! The failure model — what survives a torn journal, a poisoned
+//! world, a hostile frame, an overload burst, a racing shutdown — is
+//! DESIGN.md §12, and is enforced by the `serve_torture` binary: a
+//! seeded adversarial scenario mix whose deterministic section is a
+//! byte-compared `verify.sh` golden.
+//!
+//! Binaries: `serve` (TCP daemon over the frame protocol), `loadgen`
+//! (seeded query-mix replay against an in-process server, emitting the
+//! `BENCH_SERVE.json` throughput/latency report that `verify.sh`
+//! gates), and `serve_torture` (the failure-model gate).
 
 pub mod cache;
+pub mod journal;
 pub mod pool;
 pub mod queue;
 pub mod server;
@@ -42,6 +51,7 @@ pub mod spec;
 pub mod wire;
 
 pub use cache::{CacheStats, ResultCache};
+pub use journal::{Journal, JournalError, Recovery};
 pub use queue::Admission;
-pub use server::{Outcome, Server};
+pub use server::{serve_connection, ConnClose, Outcome, Server};
 pub use spec::{fnv1a64, FaultCfg, JobSpec, Schedule, SpecError};

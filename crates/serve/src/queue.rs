@@ -1,15 +1,32 @@
 //! Admission queue: bounded buffering between query arrival and batch
-//! execution.
+//! execution, with a typed load-shedding policy.
 //!
 //! The server's efficient unit of work is a *batch* — distinct misses
 //! fan out over the worker pool together ([`Server::submit_batch`]).
 //! [`Admission`] sits in front of it: queries accumulate in a bounded
 //! [`beff_sync::channel`] and are flushed as one batch when the queue
 //! fills (or on demand), which converts a stream of single queries
-//! into pool-sized batches with a hard cap on buffered work. The
-//! bound is the backpressure contract: an `enqueue` into a full queue
-//! flushes first, so a producer can never buffer unboundedly ahead of
-//! the simulator.
+//! into pool-sized batches with a hard cap on buffered work.
+//!
+//! Two admission disciplines share the buffer (DESIGN.md §12):
+//!
+//! * [`enqueue`](Admission::enqueue) — **backpressure**: an enqueue
+//!   into a full queue executes the buffered batch first, so a
+//!   producer can never buffer unboundedly ahead of the simulator;
+//! * [`offer`](Admission::offer) — **shedding**: an offer into a full
+//!   queue is refused with typed [`SpecError::Overloaded`] (never a
+//!   silent drop), for producers that prefer losing a query over
+//!   stalling.
+//!
+//! Orthogonally, a queue built with
+//! [`with_deadline`](Admission::with_deadline) gives every buffered
+//! job a virtual-deadline budget: time is a **virtual tick** that
+//! advances once per admission attempt (accepted or shed — no wall
+//! clock anywhere, so the policy is deterministic and replayable), and
+//! a flush sheds any job that waited longer than the budget as typed
+//! [`SpecError::DeadlineExpired`] instead of executing stale work.
+//! Under a flood the freshest jobs survive. Every shed — either kind —
+//! is counted into the server's `shed_jobs` stat.
 
 use crate::server::{Outcome, Server};
 use crate::spec::{JobSpec, SpecError};
@@ -18,18 +35,33 @@ use beff_sync::channel::{bounded, Receiver, Sender};
 /// A bounded spec queue in front of a [`Server`].
 pub struct Admission<'s> {
     server: &'s Server,
-    tx: Sender<JobSpec>,
-    rx: Receiver<JobSpec>,
+    tx: Sender<(JobSpec, u64)>,
+    rx: Receiver<(JobSpec, u64)>,
     capacity: usize,
     queued: usize,
+    /// Virtual clock: one tick per admission attempt.
+    tick: u64,
+    /// Maximum ticks a buffered job may wait before a flush sheds it
+    /// (`None`: jobs never expire).
+    budget: Option<u64>,
 }
 
 impl<'s> Admission<'s> {
-    /// Queue up to `capacity` specs (≥ 1) before forcing a flush.
+    /// Queue up to `capacity` specs (≥ 1) before forcing a flush; no
+    /// deadline — buffered jobs never expire.
     pub fn new(server: &'s Server, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         let (tx, rx) = bounded(capacity);
-        Self { server, tx, rx, capacity, queued: 0 }
+        Self { server, tx, rx, capacity, queued: 0, tick: 0, budget: None }
+    }
+
+    /// Like [`new`](Self::new), but a flush sheds (typed
+    /// [`SpecError::DeadlineExpired`]) any job that waited more than
+    /// `budget` virtual ticks since admission.
+    pub fn with_deadline(server: &'s Server, capacity: usize, budget: u64) -> Self {
+        let mut q = Self::new(server, capacity);
+        q.budget = Some(budget);
+        q
     }
 
     pub fn capacity(&self) -> usize {
@@ -41,28 +73,103 @@ impl<'s> Admission<'s> {
         self.queued
     }
 
-    /// Admit one spec. If the queue is full, the buffered batch is
-    /// executed first and its outcomes returned (empty vector
-    /// otherwise — the spec is just buffered).
+    /// The virtual clock: admission attempts observed so far.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Admit one spec under the backpressure discipline. If the queue
+    /// is full, the buffered batch is executed first and its outcomes
+    /// returned (empty vector otherwise — the spec is just buffered).
     pub fn enqueue(&mut self, spec: JobSpec) -> Vec<Result<Outcome, SpecError>> {
+        self.tick += 1;
         let flushed =
-            if self.queued == self.capacity { self.flush() } else { Vec::new() };
-        self.tx.send(spec).expect("admission queue receiver lives as long as the sender");
-        self.queued += 1;
+            if self.queued == self.capacity { self.flush_inner() } else { Vec::new() };
+        self.buffer(spec);
         flushed
     }
 
+    /// Admit one spec under the shedding discipline: a full queue
+    /// refuses it with typed [`SpecError::Overloaded`] (counted into
+    /// the server's `shed_jobs`) rather than executing anything.
+    pub fn offer(&mut self, spec: JobSpec) -> Result<(), SpecError> {
+        self.tick += 1;
+        if self.queued == self.capacity {
+            self.server.note_shed(1);
+            return Err(SpecError::Overloaded {
+                queued: self.queued,
+                capacity: self.capacity,
+            });
+        }
+        self.buffer(spec);
+        Ok(())
+    }
+
+    fn buffer(&mut self, spec: JobSpec) {
+        self.tx
+            .send((spec, self.tick))
+            .expect("admission queue receiver lives as long as the sender");
+        self.queued += 1;
+    }
+
     /// Execute everything buffered as one batch, in admission order.
+    /// Under a deadline, expired jobs come back as typed
+    /// [`SpecError::DeadlineExpired`] in their admission slots; only
+    /// the still-fresh jobs execute.
     pub fn flush(&mut self) -> Vec<Result<Outcome, SpecError>> {
+        self.flush_inner()
+    }
+
+    fn flush_inner(&mut self) -> Vec<Result<Outcome, SpecError>> {
         let mut batch = Vec::with_capacity(self.queued);
-        while let Ok(spec) = self.rx.try_recv() {
-            batch.push(spec);
+        while let Ok(job) = self.rx.try_recv() {
+            batch.push(job);
         }
         self.queued = 0;
         if batch.is_empty() {
             return Vec::new();
         }
-        self.server.submit_batch(&batch)
+
+        // Age check against the virtual clock at flush time.
+        enum Slot {
+            Fresh(JobSpec),
+            Expired { waited: u64, budget: u64 },
+        }
+        let mut shed = 0u64;
+        let slots: Vec<Slot> = batch
+            .into_iter()
+            .map(|(spec, admitted)| {
+                let waited = self.tick - admitted;
+                match self.budget {
+                    Some(budget) if waited > budget => {
+                        shed += 1;
+                        Slot::Expired { waited, budget }
+                    }
+                    _ => Slot::Fresh(spec),
+                }
+            })
+            .collect();
+        if shed > 0 {
+            self.server.note_shed(shed);
+        }
+
+        let fresh: Vec<JobSpec> = slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Fresh(spec) => Some(spec.clone()),
+                Slot::Expired { .. } => None,
+            })
+            .collect();
+        let mut executed = self.server.submit_batch(&fresh).into_iter();
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Fresh(_) => executed.next().expect("one outcome per fresh job"),
+                Slot::Expired { waited, budget } => {
+                    Err(SpecError::DeadlineExpired { waited, budget })
+                }
+            })
+            .collect()
     }
 }
 
@@ -103,5 +210,67 @@ mod tests {
         for (o, s) in outcomes.iter().zip(&specs) {
             assert_eq!(o.as_ref().expect("valid").key, s.canonical_key());
         }
+    }
+
+    #[test]
+    fn offer_sheds_typed_when_full() {
+        let srv = Server::new(Workers::new(1));
+        let mut q = Admission::new(&srv, 2);
+        assert!(q.offer(JobSpec::new("t3e", 4).with_seed(0)).is_ok());
+        assert!(q.offer(JobSpec::new("t3e", 4).with_seed(1)).is_ok());
+        let err = q.offer(JobSpec::new("t3e", 4).with_seed(2)).expect_err("full");
+        assert!(
+            matches!(err, SpecError::Overloaded { queued: 2, capacity: 2 }),
+            "{err:?}"
+        );
+        assert_eq!(srv.shed_jobs(), 1, "the shed is counted, never silent");
+        assert_eq!(q.queued(), 2, "buffered jobs are untouched by a shed");
+        assert_eq!(q.flush().len(), 2);
+    }
+
+    #[test]
+    fn deadline_flood_serves_freshest_sheds_rest_typed() {
+        // The DESIGN.md §12 worked example: 20 offers into capacity 8
+        // with budget 16 → 12 refused at the door (Overloaded), and at
+        // flush time the 3 stalest buffered jobs have out-waited their
+        // budget (DeadlineExpired) while the freshest 5 execute.
+        let srv = Server::new(Workers::new(2));
+        let mut q = Admission::with_deadline(&srv, 8, 16);
+        let mut overloaded = 0;
+        for i in 0..20 {
+            match q.offer(JobSpec::new("t3e", 4).with_seed(i)) {
+                Ok(()) => {}
+                Err(SpecError::Overloaded { .. }) => overloaded += 1,
+                Err(e) => panic!("unexpected admission error: {e:?}"),
+            }
+        }
+        assert_eq!(overloaded, 12);
+        assert_eq!(q.tick(), 20);
+        let outcomes = q.flush();
+        assert_eq!(outcomes.len(), 8, "every buffered job gets an outcome slot");
+        let expired: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| {
+                matches!(o, Err(SpecError::DeadlineExpired { .. })).then_some(i)
+            })
+            .collect();
+        assert_eq!(expired, vec![0, 1, 2], "the stalest slots expire, in place");
+        let served = outcomes.iter().filter(|o| o.is_ok()).count();
+        assert_eq!(served, 5, "the freshest jobs survive the flood");
+        assert_eq!(srv.shed_jobs(), 15, "12 overloaded + 3 expired, all counted");
+    }
+
+    #[test]
+    fn without_deadline_stale_jobs_never_expire() {
+        let srv = Server::new(Workers::new(1));
+        let mut q = Admission::new(&srv, 2);
+        assert!(q.offer(JobSpec::new("t3e", 4).with_seed(0)).is_ok());
+        // Advance the virtual clock far past any plausible budget.
+        for i in 0..100 {
+            let _ = q.offer(JobSpec::new("t3e", 4).with_seed(100 + i));
+        }
+        let outcomes = q.flush();
+        assert!(outcomes.iter().all(|o| o.is_ok()), "no deadline, no expiry");
     }
 }

@@ -346,7 +346,11 @@ fn as_bool(v: &Json, what: &str) -> Result<bool, SpecError> {
     }
 }
 
-/// Why a spec cannot be served.
+/// Why a spec cannot be served. The first group is spec-shaped (the
+/// job itself is unservable); the second is service-conditioned (the
+/// job was fine, the server's state refused it) — load shedding and
+/// shutdown answer with *typed* rejections, never silent drops
+/// (DESIGN.md §12).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpecError {
     UnknownMachine(String),
@@ -355,6 +359,17 @@ pub enum SpecError {
     BadSeverity(f64),
     /// Wire-shape problems: wrong types, unknown fields, bad JSON.
     Malformed(String),
+    /// Shed at admission: the bounded queue (or batch frame) was full.
+    Overloaded { queued: usize, capacity: usize },
+    /// Shed at flush: the job outlived its virtual-deadline budget in
+    /// the admission queue.
+    DeadlineExpired { waited: u64, budget: u64 },
+    /// The server is draining for shutdown; no new work is admitted.
+    ShuttingDown,
+    /// A clean job's world raised a typed fault even on a fresh
+    /// (post-quarantine) partition. The failure is reported, never
+    /// cached — a later retry re-runs the simulation.
+    WorldFailed(String),
 }
 
 impl fmt::Display for SpecError {
@@ -373,6 +388,21 @@ impl fmt::Display for SpecError {
                 write!(f, "fault severity {s} out of range (0.0..=1.0)")
             }
             SpecError::Malformed(msg) => write!(f, "malformed spec: {msg}"),
+            SpecError::Overloaded { queued, capacity } => {
+                write!(f, "overloaded: admission queue full ({queued}/{capacity}); job shed")
+            }
+            SpecError::DeadlineExpired { waited, budget } => {
+                write!(
+                    f,
+                    "overloaded: job waited {waited} admission ticks (budget {budget}); shed unexecuted"
+                )
+            }
+            SpecError::ShuttingDown => {
+                write!(f, "server is shutting down; no new jobs admitted")
+            }
+            SpecError::WorldFailed(cause) => {
+                write!(f, "world failed on a fresh partition after quarantine: {cause}")
+            }
         }
     }
 }

@@ -105,6 +105,42 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
     w.flush()
 }
 
+/// An in-memory duplex transport: reads consume a fixed input script,
+/// writes append to [`output`](MemStream::output). This is how the
+/// torture harness and the connection tests drive
+/// [`serve_connection`](crate::server::serve_connection) through every
+/// adversarial byte sequence — truncations, lying lengths, garbage —
+/// without a socket, so the byte-level behaviour is deterministic and
+/// replayable.
+pub struct MemStream {
+    input: io::Cursor<Vec<u8>>,
+    /// Every byte the server wrote back, in order.
+    pub output: Vec<u8>,
+}
+
+impl MemStream {
+    pub fn new(input: Vec<u8>) -> Self {
+        Self { input: io::Cursor::new(input), output: Vec::new() }
+    }
+}
+
+impl Read for MemStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.input.read(buf)
+    }
+}
+
+impl Write for MemStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.output.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

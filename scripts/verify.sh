@@ -107,6 +107,24 @@ run_gate "serve parallel-parity (virtual section, BEFF_WORKERS=4)" 600 \
 run_gate "serve parallel-parity (w1 vs w4 bytes)" 60 \
     cmp target/serve.virtual.w1.json target/serve.virtual.w4.json
 
+# the serving-layer failure model (DESIGN.md §12): the torture binary
+# drives seeded adversarial scenarios — frame fuzz, mid-frame
+# disconnects at every byte boundary, kill-and-restart journal
+# recovery with a recomputation audit, torn-record healing, poisoned
+# world quarantine, a deadline-queue overload flood, shutdown drain —
+# and exits non-zero if any invariant breaks. Its canonical section
+# must match the committed golden byte-for-byte at 1 and 4 workers.
+run_gate "serve-torture (failure model + golden, BEFF_WORKERS=1)" 600 \
+    env BEFF_WORKERS=1 cargo run -q --offline --release -p beff-serve --bin serve_torture -- \
+    --scratch target/serve_torture.w1 \
+    --out target/serve_torture.w1.json --golden results/serve_torture.json
+run_gate "serve-torture parallel-parity (BEFF_WORKERS=4)" 600 \
+    env BEFF_WORKERS=4 cargo run -q --offline --release -p beff-serve --bin serve_torture -- \
+    --scratch target/serve_torture.w4 \
+    --out target/serve_torture.w4.json --golden results/serve_torture.json
+run_gate "serve-torture parallel-parity (w1 vs w4 bytes)" 60 \
+    cmp target/serve_torture.w1.json target/serve_torture.w4.json
+
 echo "== BENCH_SERVE.json gate =="
 # the committed serving baseline must exist and parse
 if [ ! -f BENCH_SERVE.json ]; then
