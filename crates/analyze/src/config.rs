@@ -113,7 +113,7 @@ pub const DEP_ALLOWLISTS: &[(&str, &[&str])] = &[
 /// table in a reviewed diff. `facade` covers the root `src/`, `tests/`
 /// and `examples/`.
 pub const UNWRAP_BUDGETS: &[(&str, u32)] = &[
-    ("analyze", 12),
+    ("analyze", 43),
     ("bench", 53),
     ("check", 0),
     ("core", 13),
@@ -126,7 +126,7 @@ pub const UNWRAP_BUDGETS: &[(&str, u32)] = &[
     ("netsim", 7),
     ("pfs", 19),
     ("report", 4),
-    ("serve", 144),
+    ("serve", 143),
     ("sim", 18),
     ("sweep", 4),
     ("sync", 3),
@@ -282,6 +282,109 @@ pub const LOCK_HIERARCHY: &[LockDecl] = &[
         name: "sync.channel",
     },
 ];
+
+/// Entry points for the `panicflow` reachability pass: the functions
+/// the outside world (a connection, a worker thread, a fiber, an MPI
+/// rank) drives directly. An untyped panic reachable from one of these
+/// tears down a worker, poisons a shard epoch, or kills a connection —
+/// the crash-safety layer turns it into a quarantine, but the pass
+/// exists so every such site is either waived with a written invariant
+/// or converted to a typed `BeffError`.
+///
+/// Matched by `(file path suffix, fn name)`.
+pub const PANIC_ENTRY_POINTS: &[(&str, &[&str])] = &[
+    (
+        "crates/sim/src/sched.rs",
+        &[
+            "wait_turn",
+            "yield_turn",
+            "yield_blocked",
+            "unblock",
+            "finish",
+            "abort",
+            "drain_grant",
+            "wait_idle",
+            "kick",
+            "declare_deadlock",
+            "drive_idle",
+            "fiber_exit",
+            "drive_fibers",
+        ],
+    ),
+    ("crates/sim/src/pool.rs", &["map_ordered"]),
+    (
+        "crates/sim/src/shard.rs",
+        &["try_run_sharded", "try_run_sharded_parked", "try_run_sharded_fibered"],
+    ),
+    (
+        "crates/serve/src/server.rs",
+        &["serve_connection", "handle_frame", "submit", "submit_batch", "execute", "recompute"],
+    ),
+];
+
+/// Call names that surrender the current turn/fiber/thread to the
+/// scheduler. `lockflow` flags any declared lock textually held across
+/// a call that may (transitively) reach one of these: a lock held over
+/// a suspension point serializes the scheduler against the lock holder
+/// and is the classic deterministic-deadlock shape.
+pub const YIELD_IDENTS: &[&str] = &["yield_turn", "yield_blocked", "wait_turn", "fiber_switch"];
+
+/// Identifiers that *observe* a nondeterministic fact without being
+/// outright banned where they appear — the `taint` pass seeds here and
+/// follows the data into deterministic crates. (Wall-clock and
+/// hash-order idents also seed, in the scopes where the per-line rules
+/// permit them; these are the sources with no per-line rule at all.)
+pub const TAINT_SOURCE_IDENTS: &[&str] = &["ThreadId", "addr_of", "addr_of_mut"];
+
+/// Method names owned, in practice, by std containers/iterators/
+/// primitives. A method call through an *untyped* receiver with one of
+/// these names resolves to std (external), never to a same-named
+/// workspace method: `queue.push(…)` landing on `Port::push` would
+/// invent lock acquisitions wholesale. Typed spellings are unaffected —
+/// `self.push(…)`, `Port::push(…)`, and `Self::push(…)` still resolve,
+/// so a workspace method on this list stays reachable wherever the
+/// receiver's type is actually stated.
+pub const STD_METHOD_NAMES: &[&str] = &[
+    "all", "and_then", "any", "append", "as_bytes", "as_mut", "as_ref", "as_slice", "as_str",
+    "bytes", "chars", "clear", "clone", "cloned", "collect", "contains", "contains_key", "count",
+    "dedup", "drain", "ends_with", "entry", "extend", "filter", "find", "first", "fold", "get",
+    "get_mut", "insert", "into_iter", "is_empty", "iter", "iter_mut", "join", "keys", "last",
+    "len", "map", "max", "max_by_key", "min", "min_by_key", "next", "ok", "ok_or", "or_else",
+    "parse", "pop", "pop_front", "position", "push", "push_back", "push_front", "push_str",
+    "remove", "replace", "retain", "reverse", "sort", "sort_by", "sort_by_key", "sort_unstable",
+    "split", "split_off", "starts_with", "strip_prefix", "strip_suffix", "take", "to_string",
+    "to_vec", "trim", "unwrap_or", "unwrap_or_default", "unwrap_or_else", "values",
+];
+
+/// Per-crate interprocedural-pass baselines, keyed by the crate the
+/// *finding site* lives in. Same ratchet contract as
+/// [`UNWRAP_BUDGETS`], with one difference: a crate absent from a table
+/// has budget **zero** (so `analyze` itself is gated clean by
+/// omission). Counts are of unwaived findings.
+///
+/// `panicflow`'s numbers are an inventory of the audited panic surface
+/// reachable from [`PANIC_ENTRY_POINTS`] — sites whose invariants are
+/// argued in comments but not yet worth a waiver line each. They may
+/// only fall, or rise via a reviewed edit here.
+pub const LOCKFLOW_BUDGETS: &[(&str, u32)] = &[];
+
+/// See [`LOCKFLOW_BUDGETS`].
+pub const PANICFLOW_BUDGETS: &[(&str, u32)] = &[
+    ("core", 3),
+    ("json", 9),
+    ("machines", 1),
+    ("mpi", 26),
+    ("netsim", 1),
+    ("sim", 23),
+];
+
+/// See [`LOCKFLOW_BUDGETS`].
+pub const TAINT_BUDGETS: &[(&str, u32)] = &[];
+
+/// Budget lookup for a pass table: missing crate = 0.
+pub fn pass_budget(table: &[(&str, u32)], krate: &str) -> u32 {
+    table.iter().find(|(c, _)| *c == krate).map(|&(_, n)| n).unwrap_or(0)
+}
 
 /// The crate a workspace-relative path belongs to, for budget and
 /// scope decisions: `crates/<name>/…` → `<name>`, everything else

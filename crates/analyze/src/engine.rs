@@ -1,19 +1,30 @@
 //! Workspace walk + rule orchestration + the machine-readable report.
 //!
 //! [`analyze_workspace`] scans every tracked `.rs` file and `Cargo.toml`
-//! under the workspace root (skipping `target/` and `.git/`), runs the
-//! full rule set, aggregates unwrap budgets per crate, and returns an
-//! [`AnalyzeReport`] that serializes through beff-json into
-//! `results/analyze.json`.
+//! under the workspace root (via [`crate::source::discover`]'s sorted,
+//! component-skipping walk), runs the per-line rule set, then builds
+//! the item/symbol/call-graph layer and runs the three interprocedural
+//! passes (`lockflow`, `panicflow`, `taint`) plus the `lock-decl`
+//! rank cross-check. Everything aggregates into an [`AnalyzeReport`]
+//! that serializes through beff-json into `results/analyze.json` —
+//! schema `beff/analyze/2`, byte-identical across runs because every
+//! collection is sorted and every id derives from the sorted walk.
 
+use crate::callgraph;
 use crate::config;
 use crate::deps;
+use crate::items::{self, FileItems};
 use crate::layering;
-use crate::rules::{self, UnwrapSite, Violation};
-use crate::source::SourceFile;
+use crate::lockflow;
+use crate::panicflow;
+use crate::ranks;
+use crate::rules::{self, Finding, UnwrapSite, Violation};
+use crate::source::{self, SourceFile};
+use crate::symbols::SymbolTable;
+use crate::taint;
 use beff_json::{Json, ToJson};
 use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// Per-crate unwrap/expect budget verdict.
 #[derive(Debug, Clone)]
@@ -53,6 +64,64 @@ impl ToJson for Violation {
     }
 }
 
+/// Per-crate verdict for one interprocedural pass.
+#[derive(Debug, Clone)]
+pub struct PassLine {
+    pub pass: &'static str,
+    pub krate: String,
+    pub counted: u32,
+    pub budget: u32,
+}
+
+impl PassLine {
+    pub fn over(&self) -> bool {
+        self.counted > self.budget
+    }
+}
+
+impl ToJson for PassLine {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("pass", self.pass)
+            .field("crate", &self.krate)
+            .field("counted", &self.counted)
+            .field("budget", &self.budget)
+            .field("over", &self.over())
+            .build()
+    }
+}
+
+/// Call-graph shape summary, carried in the report so reviewers can
+/// see resolution quality drift over time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphSummary {
+    pub functions: usize,
+    pub call_sites: usize,
+    pub resolved_edges: usize,
+    pub external_calls: usize,
+    pub ambiguous_sites: usize,
+    pub dynamic_annotated: usize,
+    pub panic_entry_points: usize,
+    pub panic_reachable_fns: usize,
+    pub taint_sources: usize,
+}
+
+impl ToJson for GraphSummary {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("functions", &self.functions)
+            .field("call_sites", &self.call_sites)
+            .field("resolved_edges", &self.resolved_edges)
+            .field("external_calls", &self.external_calls)
+            .field("ambiguous_sites", &self.ambiguous_sites)
+            .field("dynamic_annotated", &self.dynamic_annotated)
+            .field("panic_entry_points", &self.panic_entry_points)
+            .field("panic_reachable_fns", &self.panic_reachable_fns)
+            .field("taint_sources", &self.taint_sources)
+            .build()
+    }
+}
+
 /// The full analysis outcome.
 #[derive(Debug)]
 pub struct AnalyzeReport {
@@ -61,6 +130,8 @@ pub struct AnalyzeReport {
     pub manifests_scanned: usize,
     pub violations: Vec<Violation>,
     pub budgets: Vec<BudgetLine>,
+    pub passes: Vec<PassLine>,
+    pub graph: GraphSummary,
     pub waivers_used: usize,
 }
 
@@ -78,7 +149,9 @@ impl ToJson for AnalyzeReport {
             .field("files_scanned", &self.files_scanned)
             .field("manifests_scanned", &self.manifests_scanned)
             .field("waivers_used", &self.waivers_used)
+            .field("graph", &self.graph)
             .field("budgets", &self.budgets)
+            .field("passes", &self.passes)
             .field("violations", &self.violations)
             .build()
     }
@@ -86,17 +159,14 @@ impl ToJson for AnalyzeReport {
 
 /// Analyze the workspace rooted at `root`.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<AnalyzeReport> {
-    let mut rs_files = Vec::new();
-    let mut manifests = Vec::new();
-    walk(root, root, &mut rs_files, &mut manifests)?;
-    // Deterministic report order regardless of directory enumeration.
-    rs_files.sort();
-    manifests.sort();
+    let discovered = source::discover(root)?;
 
     let mut violations = Vec::new();
     let mut sites: Vec<UnwrapSite> = Vec::new();
     let mut waivers_used = 0usize;
-    for rel in &rs_files {
+    let mut parsed: Vec<(SourceFile, FileItems)> = Vec::new();
+    let mut rank_literals = Vec::new();
+    for rel in &discovered.rs_files {
         let text = std::fs::read_to_string(root.join(rel))?;
         let f = SourceFile::parse(&rel.to_string_lossy(), &text);
         rules::check_waivers(&f, &mut violations);
@@ -107,12 +177,52 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<AnalyzeReport> {
         waivers_used += rules::check_lock_order(&f, &mut violations);
         waivers_used += layering::check_source(&f, &mut violations);
         rules::collect_unwraps(&f, &mut sites);
+        rank_literals.extend(ranks::scan(&f, &mut violations));
+        let it = items::parse_items(&f);
+        parsed.push((f, it));
     }
-    for rel in &manifests {
+    let mut manifest_texts: Vec<(String, String)> = Vec::new();
+    for rel in &discovered.manifests {
         let text = std::fs::read_to_string(root.join(rel))?;
         deps::check_manifest(&rel.to_string_lossy(), &text, &mut violations);
         layering::check_manifest(&rel.to_string_lossy(), &text, &mut violations);
+        manifest_texts.push((rel.to_string_lossy().replace('\\', "/"), text));
     }
+
+    let scanned_paths: Vec<String> = parsed.iter().map(|(f, _)| f.path.clone()).collect();
+    ranks::crosscheck(&rank_literals, &scanned_paths, &mut violations);
+
+    // Interprocedural layer.
+    let mut syms = SymbolTable::build(&parsed);
+    syms.set_visibility(dependency_closure(&manifest_texts));
+    let g = callgraph::build(&parsed, &syms, &mut violations);
+    let lf = lockflow::run(&parsed, &syms, &g);
+    let pf = panicflow::run(&parsed, &syms, &g);
+    let tt = taint::run(&parsed, &syms, &g);
+
+    let graph = GraphSummary {
+        functions: g.stats.functions,
+        call_sites: g.stats.call_sites,
+        resolved_edges: g.stats.resolved_edges,
+        external_calls: g.stats.external_calls,
+        ambiguous_sites: g.stats.ambiguous_sites,
+        dynamic_annotated: g.stats.dynamic_annotated,
+        panic_entry_points: pf.entries.len(),
+        panic_reachable_fns: pf.reachable,
+        taint_sources: tt.sources,
+    };
+
+    let mut passes = Vec::new();
+    settle_pass("lockflow", &lf.findings, config::LOCKFLOW_BUDGETS, &mut passes, &mut violations);
+    settle_pass(
+        "panicflow",
+        &pf.findings,
+        config::PANICFLOW_BUDGETS,
+        &mut passes,
+        &mut violations,
+    );
+    settle_pass("taint", &tt.findings, config::TAINT_BUDGETS, &mut passes, &mut violations);
+    waivers_used += (lf.waived + pf.waived + tt.waived) as usize;
 
     let budgets = settle_budgets(&sites, &mut violations);
     waivers_used += sites.iter().filter(|s| s.waived).count();
@@ -121,13 +231,124 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<AnalyzeReport> {
         (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
     });
     Ok(AnalyzeReport {
-        schema: "beff/analyze/1",
-        files_scanned: rs_files.len(),
-        manifests_scanned: manifests.len(),
+        schema: "beff/analyze/2",
+        files_scanned: discovered.rs_files.len(),
+        manifests_scanned: discovered.manifests.len(),
         violations,
         budgets,
+        passes,
+        graph,
         waivers_used,
     })
+}
+
+/// The workspace crate-dependency closure, from the manifests: crate →
+/// every crate it transitively depends on. A `beff-<x> = …` line counts
+/// unless it sits under a `[dev-dependencies]` table: dev edges link
+/// only `#[cfg(test)]` code, which the resolvers already exclude from
+/// live callers, so letting them grant visibility would route live
+/// code through impossible crates (e.g. `sync → check → sim`). What
+/// matters is that the closure *never* invents an edge between
+/// unrelated crates. The root manifest's `[workspace.dependencies]`
+/// catalog credits the facade with every crate, which is accurate: the
+/// root tests drive the whole stack.
+fn dependency_closure(
+    manifests: &[(String, String)],
+) -> BTreeMap<String, std::collections::BTreeSet<String>> {
+    use std::collections::BTreeSet;
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (path, text) in manifests {
+        let krate = config::crate_of(path).to_string();
+        let entry = direct.entry(krate).or_default();
+        let mut in_dev = false;
+        for line in text.lines() {
+            let t = line.trim_start();
+            if t.starts_with('[') {
+                in_dev = t.contains("dev-dependencies");
+                continue;
+            }
+            if in_dev {
+                continue;
+            }
+            let Some(rest) = t.strip_prefix("beff-") else { continue };
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '-')
+                .collect();
+            let after = rest[name.len()..].trim_start();
+            if !name.is_empty() && after.starts_with('=') {
+                entry.insert(name);
+            }
+        }
+    }
+    // Transitive closure (the graph is tiny; iterate to a fixpoint).
+    loop {
+        let mut changed = false;
+        let keys: Vec<String> = direct.keys().cloned().collect();
+        for k in &keys {
+            let reach: Vec<String> = direct[k].iter().cloned().collect();
+            for dep in reach {
+                let add: Vec<String> = direct
+                    .get(&dep)
+                    .map(|s| {
+                        s.iter().filter(|d| !direct[k].contains(*d)).cloned().collect()
+                    })
+                    .unwrap_or_default();
+                if !add.is_empty() {
+                    changed = true;
+                    direct.get_mut(k).expect("key exists").extend(add);
+                }
+            }
+        }
+        if !changed {
+            return direct;
+        }
+    }
+}
+
+/// Group one pass's findings per crate, compare against its baseline
+/// table, and promote every finding in an over-budget crate to a
+/// violation (one per site — the diagnostics must name file:line, not
+/// just a count).
+fn settle_pass(
+    pass: &'static str,
+    findings: &[Finding],
+    table: &[(&str, u32)],
+    lines: &mut Vec<PassLine>,
+    violations: &mut Vec<Violation>,
+) {
+    let mut per_crate: BTreeMap<&str, Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        per_crate.entry(f.krate.as_str()).or_default().push(f);
+    }
+    // Crates with a declared baseline appear in the report even when
+    // currently clean, so a ratchet opportunity is visible.
+    for &(krate, _) in table {
+        per_crate.entry(krate).or_default();
+    }
+    for (krate, found) in &per_crate {
+        let budget = config::pass_budget(table, krate);
+        let counted = found.len() as u32;
+        if counted > budget {
+            for f in found {
+                violations.push(Violation {
+                    rule: pass,
+                    path: f.path.clone(),
+                    line: f.line,
+                    message: format!(
+                        "{} (crate `{krate}`: {counted} findings, baseline {budget})",
+                        f.message
+                    ),
+                });
+            }
+        }
+        lines.push(PassLine {
+            pass,
+            krate: krate.to_string(),
+            counted,
+            budget,
+        });
+    }
 }
 
 /// Aggregate unwrap sites into per-crate verdicts; crates over budget
@@ -194,36 +415,6 @@ fn settle_budgets(sites: &[UnwrapSite], violations: &mut Vec<Violation>) -> Vec<
     out
 }
 
-/// Recursively gather `.rs` files and `Cargo.toml`s, as root-relative
-/// paths. `target/`, `.git/` and hidden directories are skipped.
-fn walk(
-    root: &Path,
-    dir: &Path,
-    rs: &mut Vec<PathBuf>,
-    manifests: &mut Vec<PathBuf>,
-) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            walk(root, &path, rs, manifests)?;
-        } else if name.ends_with(".rs") || name == "Cargo.toml" {
-            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-            if name == "Cargo.toml" {
-                manifests.push(rel);
-            } else {
-                rs.push(rel);
-            }
-        }
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +445,7 @@ mod tests {
         assert!(r.pass(), "{:?}", r.violations);
         assert_eq!(r.files_scanned, 1);
         assert_eq!(r.manifests_scanned, 1);
+        assert_eq!(r.graph.functions, 1);
     }
 
     #[test]
@@ -295,10 +487,63 @@ mod tests {
     }
 
     #[test]
+    fn pass_findings_over_baseline_are_violations_with_sites() {
+        // `sim` has no lockflow baseline → budget 0 → one seeded
+        // cross-function inversion must surface as a file:line
+        // violation. Rank literals accompany the lock uses so the
+        // lock-decl cross-check stays clean.
+        let r = scratch(
+            "lockflow",
+            &[
+                (
+                    "crates/sim/src/sched.rs",
+                    "static STATE_RANK: Rank = Rank::new(40, \"sched.state\");\n\
+                     static PARK_RANK: Rank = Rank::new(50, \"sched.parker\");\n\
+                     pub fn held_call() {\n let g = inner.lock();\n lower();\n}\n",
+                ),
+                (
+                    "crates/sim/src/shard.rs",
+                    "static SHARD_RANK: Rank = Rank::new(25, \"shard.state\");\n\
+                     pub fn lower() {\n let o = outbox.lock();\n}\n",
+                ),
+            ],
+        );
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.rule == "lockflow")
+            .expect("lockflow violation");
+        assert!(v.path.ends_with("sched.rs"));
+        assert_eq!(v.line, 5);
+        assert!(v.message.contains("baseline"));
+        assert!(r.passes.iter().any(|p| p.pass == "lockflow" && p.over()));
+    }
+
+    #[test]
+    fn dev_dependencies_do_not_grant_visibility() {
+        let manifests = vec![
+            (
+                "crates/sync/Cargo.toml".to_string(),
+                "[package]\nname = \"beff-sync\"\n[dev-dependencies]\nbeff-check = { workspace = true }\n"
+                    .to_string(),
+            ),
+            (
+                "crates/check/Cargo.toml".to_string(),
+                "[dependencies]\nbeff-sim = { workspace = true }\n".to_string(),
+            ),
+        ];
+        let c = dependency_closure(&manifests);
+        assert!(!c["sync"].contains("check"), "dev edge must not count: {c:?}");
+        assert!(!c["sync"].contains("sim"));
+        assert!(c["check"].contains("sim"));
+    }
+
+    #[test]
     fn report_serializes_via_beff_json() {
         let r = scratch("json", &[("crates/mpi/src/lib.rs", "pub fn ok() {}\n")]);
         let s = beff_json::to_string_pretty(&r);
         beff_json::validate(&s).expect("valid JSON");
-        assert!(s.contains("\"schema\": \"beff/analyze/1\""));
+        assert!(s.contains("\"schema\": \"beff/analyze/2\""));
+        assert!(s.contains("\"graph\""));
     }
 }

@@ -19,8 +19,12 @@ pub enum TokenKind {
     /// Identifier or keyword (including raw `r#ident` spellings, with
     /// the `r#` stripped).
     Ident,
-    /// String, byte-string, raw-string, char or numeric literal. The
-    /// text is not retained beyond the literal's own spelling.
+    /// String, byte-string, raw-string, char or numeric literal. For
+    /// string and numeric literals the token text carries the literal's
+    /// *value spelling* (string content without quotes/escapes applied
+    /// verbatim, number as written) so table-shaped facts — the
+    /// `Rank::new(level, "name")` declarations the `lock-decl` rule
+    /// cross-checks — can be read straight off the stream.
     Literal,
     /// A lifetime such as `'a` or `'static`.
     Lifetime,
@@ -108,8 +112,8 @@ impl Lexer {
                     comments.push(Comment { text, line, end_line: self.line });
                 }
                 '"' => {
-                    self.string_literal();
-                    tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+                    let text = self.string_literal();
+                    tokens.push(Token { kind: TokenKind::Literal, text, line });
                 }
                 '\'' => {
                     let tok = self.char_or_lifetime(line);
@@ -119,8 +123,8 @@ impl Lexer {
                     tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
                 }
                 c if c.is_ascii_digit() => {
-                    self.number();
-                    tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+                    let text = self.number();
+                    tokens.push(Token { kind: TokenKind::Literal, text, line });
                 }
                 c if c == '_' || c.is_alphabetic() => {
                     let text = self.ident();
@@ -179,17 +183,23 @@ impl Lexer {
     }
 
     /// Ordinary (escaped) string literal body, opening quote included.
-    fn string_literal(&mut self) {
+    /// Returns the content between the quotes (escapes kept verbatim).
+    fn string_literal(&mut self) -> String {
+        let mut out = String::new();
         self.bump(); // opening "
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump(); // the escaped char, whatever it is
+                    out.push(c);
+                    if let Some(e) = self.bump() {
+                        out.push(e); // the escaped char, whatever it is
+                    }
                 }
                 '"' => break,
-                _ => {}
+                _ => out.push(c),
             }
         }
+        out
     }
 
     /// At an `r`/`b`/`c` that may open a raw or prefixed string
@@ -291,17 +301,18 @@ impl Lexer {
 
     /// Numeric literal, loosely: digits, `_`, type suffixes, hex/oct/bin
     /// bodies and a fractional/exponent part — without eating the `..`
-    /// of a range expression (`0..5`).
-    fn number(&mut self) {
+    /// of a range expression (`0..5`). Returns the spelling as written.
+    fn number(&mut self) -> String {
+        let mut out = String::new();
         while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
-            self.bump();
+            out.push(self.bump().expect("peeked"));
         }
         if self.peek(0) == Some('.')
             && matches!(self.peek(1), Some(c) if c.is_ascii_digit())
         {
-            self.bump(); // .
+            out.push(self.bump().expect("peeked")); // .
             while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
-                self.bump();
+                out.push(self.bump().expect("peeked"));
             }
         }
         // exponent sign (1.5e-3): the e was consumed above, a sign stops
@@ -311,12 +322,13 @@ impl Lexer {
             if matches!(prev, Some('e' | 'E'))
                 && matches!(self.peek(1), Some(c) if c.is_ascii_digit())
             {
-                self.bump();
+                out.push(self.bump().expect("peeked"));
                 while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
-                    self.bump();
+                    out.push(self.bump().expect("peeked"));
                 }
             }
         }
+        out
     }
 
     fn ident(&mut self) -> String {
@@ -406,6 +418,22 @@ mod tests {
     fn raw_identifiers_lex_as_plain_idents() {
         let ids = idents("let r#type = r#match; radius");
         assert_eq!(ids, vec!["let", "type", "match", "radius"]);
+    }
+
+    #[test]
+    fn literal_text_is_retained_for_strings_and_numbers() {
+        let (toks, _) = lex(r#"Rank::new(40, "sched.state"); let x = 1.5e-3;"#);
+        let lits: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).map(|t| t.text.as_str()).collect();
+        assert_eq!(lits, vec!["40", "sched.state", "1.5e-3"]);
+    }
+
+    #[test]
+    fn escaped_quote_stays_inside_the_literal() {
+        let (toks, _) = lex(r#"let s = "a\"b"; after()"#);
+        let lit = toks.iter().find(|t| t.kind == TokenKind::Literal).expect("literal");
+        assert_eq!(lit.text, "a\\\"b");
+        assert!(toks.iter().any(|t| t.is_ident("after")));
     }
 
     #[test]

@@ -32,17 +32,41 @@
 //! // beff-analyze: allow(hash-order): keyed lookups only, never iterated
 //! ```
 //!
+//! On top of the per-line rules sits an **interprocedural layer**: an
+//! item parser ([`items`]) and workspace symbol table ([`symbols`])
+//! feed a conservative call graph ([`callgraph`]), over which three
+//! whole-program passes run:
+//!
+//! * `lockflow` — propagates `ranked(…)` lock acquisitions along call
+//!   chains, proving the declared hierarchy holds on every path and
+//!   flagging locks held across `yield_turn`/fiber-switch points;
+//! * `panicflow` — marks `unwrap`/`expect`/`panic!` sites reachable
+//!   from scheduler, worker-pool, and serve entry points;
+//! * `taint` — seeds determinism taint at wall-clock/thread-id/
+//!   hash-iteration sources and propagates it into deterministic
+//!   crates.
+//!
+//! Each pass ratchets against a committed per-crate baseline, exactly
+//! like unwrap budgets.
+//!
 //! Run it as `cargo run -p beff-analyze --bin analyze`; diagnostics are
 //! `file:line: [rule] message` on stderr, the exit code is the gate,
 //! and `results/analyze.json` carries the machine-readable report.
 
+pub mod callgraph;
 pub mod config;
 pub mod deps;
 pub mod engine;
+pub mod items;
 pub mod layering;
 pub mod lexer;
+pub mod lockflow;
+pub mod panicflow;
+pub mod ranks;
 pub mod rules;
 pub mod source;
+pub mod symbols;
+pub mod taint;
 
 pub use engine::{analyze_workspace, AnalyzeReport};
 pub use rules::Violation;

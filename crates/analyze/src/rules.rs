@@ -31,6 +31,19 @@ impl Violation {
     }
 }
 
+/// One interprocedural-pass finding, before budget settlement. The
+/// engine groups these per crate, compares against the pass's baseline
+/// table, and promotes every finding in an over-budget crate to a
+/// [`Violation`].
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    /// Crate of the finding site (budget key).
+    pub krate: String,
+    pub message: String,
+}
+
 /// An `unwrap()`/`expect()` call site (budget accounting).
 #[derive(Debug, Clone)]
 pub struct UnwrapSite {

@@ -1,0 +1,204 @@
+//! Workspace symbol table: every parsed function, indexed the ways the
+//! call graph resolves names — by simple name, by `(type, method)`
+//! pair, and by defining file.
+//!
+//! Function identity is an index into [`SymbolTable::fns`]; the vector
+//! is built from files in [`crate::source::discover`]'s sorted order
+//! and functions in source order, so ids — and everything derived from
+//! them — are deterministic across runs and machines.
+
+use crate::config;
+use crate::items::{FileItems, FnItem, UseName};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One function definition, flattened out of its file's item tree.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index into the analysis run's file list.
+    pub file: usize,
+    /// Workspace-relative path (duplicated for rendering convenience).
+    pub path: String,
+    /// Crate the file belongs to (`config::crate_of`).
+    pub krate: String,
+    pub name: String,
+    pub self_type: Option<String>,
+    pub module: Vec<String>,
+    /// Token span of the body in the defining file, if present.
+    pub body: Option<(usize, usize)>,
+    pub line: u32,
+    /// Defined inside test scope (`#[cfg(test)]` module or tests/ file).
+    pub is_test: bool,
+}
+
+impl FnDef {
+    /// Human-readable qualified name: `crate::module::Type::name`.
+    pub fn qual_name(&self) -> String {
+        let mut s = self.krate.clone();
+        for m in &self.module {
+            s.push_str("::");
+            s.push_str(m);
+        }
+        if let Some(t) = &self.self_type {
+            s.push_str("::");
+            s.push_str(t);
+        }
+        s.push_str("::");
+        s.push_str(&self.name);
+        s
+    }
+}
+
+/// All functions in the workspace plus the lookup indices.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    pub fns: Vec<FnDef>,
+    /// Simple name → fn ids (free functions and methods alike).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// `(self type, method name)` → fn ids.
+    by_type_method: BTreeMap<(String, String), Vec<usize>>,
+    /// File index → imported names in that file.
+    uses: Vec<Vec<UseName>>,
+    /// Crate → transitive workspace-dependency closure. `None` means
+    /// no manifest information (unit-test tables): everything visible.
+    visibility: Option<BTreeMap<String, BTreeSet<String>>>,
+}
+
+impl SymbolTable {
+    /// Build the table from every file's parsed items, in file order.
+    pub fn build(files: &[(SourceFile, FileItems)]) -> Self {
+        let mut t = SymbolTable::default();
+        for (fi, (src, items)) in files.iter().enumerate() {
+            for it in &items.fns {
+                t.push_fn(fi, src, it);
+            }
+            t.uses.push(items.uses.clone());
+        }
+        t
+    }
+
+    fn push_fn(&mut self, file: usize, src: &SourceFile, it: &FnItem) {
+        let id = self.fns.len();
+        self.by_name.entry(it.name.clone()).or_default().push(id);
+        if let Some(ty) = &it.self_type {
+            self.by_type_method
+                .entry((ty.clone(), it.name.clone()))
+                .or_default()
+                .push(id);
+        }
+        self.fns.push(FnDef {
+            file,
+            path: src.path.clone(),
+            krate: config::crate_of(&src.path).to_string(),
+            name: it.name.clone(),
+            self_type: it.self_type.clone(),
+            module: it.module.clone(),
+            body: it.body,
+            line: it.line,
+            is_test: src.is_test_line(it.line),
+        });
+    }
+
+    /// Every fn with this simple name.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Methods `name` of type `ty`, across all crates.
+    pub fn methods_of(&self, ty: &str, name: &str) -> &[usize] {
+        self.by_type_method
+            .get(&(ty.to_string(), name.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The `use` entry a file has for an in-scope alias, if any.
+    pub fn import_of<'a>(&'a self, file: usize, alias: &str) -> Option<&'a UseName> {
+        self.uses.get(file)?.iter().find(|u| u.alias == alias)
+    }
+
+    /// The crate a `use` path roots in, if it names a workspace crate:
+    /// `beff_sim::…` → `sim`, `crate::…` → the importing file's crate.
+    pub fn crate_of_import(&self, u: &UseName, importing_crate: &str) -> Option<String> {
+        let head = u.path.first()?;
+        if head == "crate" {
+            return Some(importing_crate.to_string());
+        }
+        head.strip_prefix("beff_").map(str::to_string)
+    }
+
+    /// Install the crate dependency closure (from the workspace
+    /// manifests). Once set, name resolution refuses edges into crates
+    /// the caller does not (transitively) depend on — a caller cannot
+    /// link against code outside its dependency cone, so such edges
+    /// are impossible, and dropping them is precision, not guesswork.
+    pub fn set_visibility(&mut self, closure: BTreeMap<String, BTreeSet<String>>) {
+        self.visibility = Some(closure);
+    }
+
+    /// May code in crate `from` reach code in crate `to`?
+    pub fn visible(&self, from: &str, to: &str) -> bool {
+        if from == to {
+            return true;
+        }
+        match &self.visibility {
+            None => true,
+            Some(map) => map.get(from).is_some_and(|deps| deps.contains(to)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+
+    fn table(files: &[(&str, &str)]) -> SymbolTable {
+        let parsed: Vec<(SourceFile, FileItems)> = files
+            .iter()
+            .map(|(p, s)| {
+                let f = SourceFile::parse(p, s);
+                let items = parse_items(&f);
+                (f, items)
+            })
+            .collect();
+        SymbolTable::build(&parsed)
+    }
+
+    #[test]
+    fn names_and_methods_index_across_files() {
+        let t = table(&[
+            ("crates/sim/src/pool.rs", "pub fn map_ordered() {}\n"),
+            ("crates/serve/src/cache.rs", "impl Cache {\n pub fn insert(&self) {}\n}\n"),
+        ]);
+        assert_eq!(t.named("map_ordered").len(), 1);
+        assert_eq!(t.methods_of("Cache", "insert").len(), 1);
+        let id = t.named("map_ordered")[0];
+        assert_eq!(t.fns[id].krate, "sim");
+        assert_eq!(t.fns[id].qual_name(), "sim::map_ordered");
+    }
+
+    #[test]
+    fn test_scope_is_recorded_per_fn() {
+        let t = table(&[(
+            "crates/sim/src/x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod t {\n fn helper() {}\n}\n",
+        )]);
+        let live = t.named("live")[0];
+        let helper = t.named("helper")[0];
+        assert!(!t.fns[live].is_test);
+        assert!(t.fns[helper].is_test);
+    }
+
+    #[test]
+    fn imports_resolve_to_crates() {
+        let t = table(&[(
+            "crates/serve/src/server.rs",
+            "use beff_sim::pool::map_ordered;\nuse crate::cache::lookup;\nfn f() {}\n",
+        )]);
+        let u = t.import_of(0, "map_ordered").expect("import");
+        assert_eq!(t.crate_of_import(u, "serve").as_deref(), Some("sim"));
+        let c = t.import_of(0, "lookup").expect("crate import");
+        assert_eq!(t.crate_of_import(c, "serve").as_deref(), Some("serve"));
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: the callee half of the inversion — acquires the
+//! lower-ranked `shard.state` lock.
+
+static SHARD_RANK: Rank = Rank::new(25, "shard.state");
+
+pub fn flush_outbox() {
+    let o = outbox.lock();
+}

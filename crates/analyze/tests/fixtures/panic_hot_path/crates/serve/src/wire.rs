@@ -1,0 +1,5 @@
+//! Fixture: the panic site reachable from the `submit` entry point.
+
+pub fn decode_frame() {
+    let n = header.take().unwrap();
+}

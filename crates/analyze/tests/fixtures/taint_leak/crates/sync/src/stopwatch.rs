@@ -1,0 +1,7 @@
+//! Fixture: legal wall-clock observation in `beff-sync` (which is
+//! wall-clock-exempt — timeouts are its job).
+
+pub fn elapsed_secs() -> f64 {
+    let t = Instant::now();
+    0.0
+}

@@ -393,12 +393,14 @@ fn main() {
         // best-of-2, with up to two extra attempts if the ratchet gate
         // would fire: a real regression reproduces across four runs,
         // container hiccups do not
+        // beff-analyze: dynamic-call: sweep table fn pointer; targets are the sweeps() entries above
         let mut secs = (s.run)().min((s.run)());
         if let Some(prev) = prev_secs(s.name) {
             for _ in 0..2 {
                 if secs <= ratchet_limit(prev) {
                     break;
                 }
+                // beff-analyze: dynamic-call: sweep table fn pointer; targets are the sweeps() entries above
                 secs = secs.min((s.run)());
             }
         }

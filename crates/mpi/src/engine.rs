@@ -117,6 +117,7 @@ pub struct RankState {
 impl RankState {
     pub fn new(engine: &EngineCfg) -> Self {
         match engine {
+            // beff-analyze: allow(taint): the Real engine is wall-clock by contract; sim worlds take the Virt arm below
             EngineCfg::Real => Self { clock: RankClock::Real(RealClock::new()) },
             EngineCfg::Sim { .. } => Self { clock: RankClock::Virt(VClock::new()) },
         }

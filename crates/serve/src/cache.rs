@@ -84,6 +84,7 @@ impl ResultCache {
     pub fn insert_if_absent(&self, key: String, bytes: String) -> (Arc<str>, bool) {
         let mut entries = self.entries.lock();
         if let Some(existing) = entries.get(key.as_str()) {
+            // beff-analyze: allow(panicflow): integrity tripwire — divergent recompute bytes mean determinism is already broken; dying loudly beats serving either answer
             assert_eq!(
                 existing.as_ref(),
                 bytes.as_str(),

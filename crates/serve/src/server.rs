@@ -44,6 +44,7 @@ use crate::spec::{JobSpec, SpecError};
 use crate::wire::{self, WireError};
 use beff_bench::resilient::ResilientRunner;
 use beff_json::Json;
+use beff_machines::Machine;
 use beff_sim::{map_ordered, BeffError, Workers};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -185,6 +186,7 @@ impl Server {
     pub fn submit(&self, spec: &JobSpec) -> Result<Outcome, SpecError> {
         self.submit_batch(std::slice::from_ref(spec))
             .pop()
+            // beff-analyze: allow(panicflow): submit_batch returns exactly one outcome per spec, and the input slice has length one
             .expect("one outcome per submitted spec")
     }
 
@@ -223,11 +225,11 @@ impl Server {
             Refused(SpecError),
         }
         let mut admitted = Vec::with_capacity(specs.len());
-        let mut pending: BTreeMap<String, JobSpec> = BTreeMap::new();
+        let mut pending: BTreeMap<String, (JobSpec, Machine)> = BTreeMap::new();
         for spec in specs {
             match spec.resolve() {
                 Err(e) => admitted.push(Admitted::Refused(e)),
-                Ok(_sized) => {
+                Ok(sized) => {
                     let key = spec.canonical_key();
                     match self.cache.get(&key) {
                         Some(bytes) => admitted.push(Admitted::Hit(Outcome {
@@ -237,7 +239,7 @@ impl Server {
                             cached: true,
                         })),
                         None => {
-                            pending.entry(key.clone()).or_insert_with(|| spec.clone());
+                            pending.entry(key.clone()).or_insert_with(|| (spec.clone(), sized));
                             admitted.push(Admitted::Pending(key));
                         }
                     }
@@ -248,9 +250,9 @@ impl Server {
         // Execution pass: every distinct missing key, batch-parallel.
         // Only successful results enter the cache (and the journal);
         // typed world failures stay per-batch values.
-        let jobs: Vec<(String, JobSpec)> = pending.into_iter().collect();
-        let computed = map_ordered(self.workers, jobs, |_, (key, spec)| {
-            let outcome = self.execute(&spec);
+        let jobs: Vec<(String, (JobSpec, Machine))> = pending.into_iter().collect();
+        let computed = map_ordered(self.workers, jobs, |_, (key, (spec, sized))| {
+            let outcome = self.execute(&spec, &sized);
             (key, outcome)
         });
         let mut failed: BTreeMap<String, BeffError> = BTreeMap::new();
@@ -282,6 +284,7 @@ impl Server {
                     None => {
                         let cause = failed
                             .get(&key)
+                            // beff-analyze: allow(panicflow): the execution pass ran every distinct pending key; each lands in the cache or in `failed`
                             .expect("every pending key was executed: cached or failed");
                         Err(SpecError::WorldFailed(cause.to_string()))
                     }
@@ -308,8 +311,8 @@ impl Server {
     /// stored): the correctness audit's tool for proving cached bytes
     /// equal recomputed bytes.
     pub fn recompute(&self, spec: &JobSpec) -> Result<String, SpecError> {
-        spec.resolve()?;
-        self.execute(spec).map_err(|e| SpecError::WorldFailed(e.to_string()))
+        let sized = spec.resolve()?;
+        self.execute(spec, &sized).map_err(|e| SpecError::WorldFailed(e.to_string()))
     }
 
     /// Simulate one validated spec to its result report bytes.
@@ -322,14 +325,11 @@ impl Server {
     /// single-use world instead: a fault session is stateful across
     /// runs, and the resilient report is a different (richer) schema,
     /// which must not depend on whether the plan happens to be empty.
-    fn execute(&self, spec: &JobSpec) -> Result<String, BeffError> {
-        let sized = spec
-            .resolve()
-            .expect("execute() is only called on specs that already resolved");
-        let cfg = spec.beff_config(&sized);
+    fn execute(&self, spec: &JobSpec, sized: &Machine) -> Result<String, BeffError> {
+        let cfg = spec.beff_config(sized);
         match &spec.fault {
             None => {
-                let partition = self.pool.checkout(spec, &sized);
+                let partition = self.pool.checkout(spec, sized);
                 let first = if self.pool.take_poison(&spec.machine, spec.procs) {
                     partition.poisoned_run(&cfg)
                 } else {
@@ -345,7 +345,7 @@ impl Server {
                         // fault was: quarantine it and re-run the job
                         // on a guaranteed-cold partition.
                         self.pool.quarantine(partition);
-                        let fresh = self.pool.checkout(spec, &sized);
+                        let fresh = self.pool.checkout(spec, sized);
                         // The retry consults the poison hook too, so
                         // the torture harness can drive this job all
                         // the way to the fresh-world-failed outcome.
@@ -371,6 +371,7 @@ impl Server {
                 let net = sized.network();
                 let plan = fault.to_fault_spec().materialize(&net);
                 let runner = ResilientRunner::on_net(net, spec.procs, plan);
+                // beff-analyze: allow(taint): the resilient runner drives sim-engine worlds (EngineCfg::Sim); the real-clock arm it can reach is dead on this path
                 Ok(beff_json::to_string(&runner.run(&cfg)))
             }
         }
@@ -421,6 +422,7 @@ impl Server {
                     .iter()
                     .map(|r| match r {
                         Ok(_) => outcome_body(
+                            // beff-analyze: allow(panicflow): `answered` has one entry per Ok in `parsed`, consumed in the same order
                             &answered.next().expect("one outcome per valid spec"),
                         ),
                         Err(e) => error_body(&e.to_string()),

@@ -39,6 +39,7 @@ impl std::error::Error for WireError {}
 
 /// Encode one frame: length prefix + payload bytes.
 pub fn encode(payload: &str) -> Vec<u8> {
+    // beff-analyze: allow(panicflow): every encoded payload is bounded by MAX_FRAME, far below u32::MAX
     let len = u32::try_from(payload.len()).expect("payload under 4 GiB");
     let mut out = Vec::with_capacity(4 + payload.len());
     out.extend_from_slice(&len.to_be_bytes());

@@ -42,6 +42,7 @@ impl RealClock {
 
 impl Default for RealClock {
     fn default() -> Self {
+        // beff-analyze: allow(taint): RealClock is the sanctioned real-mode time source; virtual worlds construct VClock instead
         Self::new()
     }
 }

@@ -203,6 +203,7 @@ impl<M: Message> Port<M> {
         }
         let ticket = g.post(m);
         loop {
+            // beff-analyze: allow(taint): real-mode-only API (see the wall-clock waiver above); sim worlds never block on a deadline
             let timed_out = self.cond.wait_until(&mut g, deadline).timed_out();
             // Check the slot even on timeout: a push may have completed
             // the match as the deadline expired, and that message must

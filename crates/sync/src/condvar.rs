@@ -36,7 +36,7 @@ impl Condvar {
     /// Block until notified. Spurious wakeups are possible, as with any
     /// condition variable: callers re-check their predicate in a loop.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        // beff-analyze: allow(unwrap): guard.inner is Some outside an active wait by construction
+        // beff-analyze: allow(unwrap, panicflow): guard.inner is Some outside an active wait by construction
         let g = guard.inner.take().expect("guard present");
         // The mutex is released for the duration of the wait, so its
         // rank leaves the thread's lockset and re-enters on wakeup.

@@ -51,6 +51,7 @@ mod tracking {
         HELD.with(|h| {
             let mut h = h.borrow_mut();
             if let Some(&(lvl, name)) = h.iter().find(|&&(lvl, _)| lvl >= rank.level) {
+                // beff-analyze: allow(panicflow): this panic IS the lock-order gate — a detected inversion must abort the test run, never be converted to a value
                 panic!(
                     "lock-order violation: acquiring '{}' (level {}) while '{}' (level {}) \
                      is held; the hierarchy requires strictly increasing levels",

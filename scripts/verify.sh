@@ -30,12 +30,22 @@ run_gate() {
 run_gate "build (offline)" 900 \
     cargo build --release --offline --workspace
 
-# beff-analyze is the determinism & safety contract (DESIGN.md §8):
-# wall-clock/hash-order bans, unwrap budgets, SAFETY comments, the
-# static lock hierarchy, and the registry-free dependency guard that
-# used to live here as a shell loop.
+# beff-analyze is the determinism & safety contract (DESIGN.md §8 and
+# §13): wall-clock/hash-order bans, unwrap budgets, SAFETY comments,
+# the static lock hierarchy, the registry-free dependency guard, and
+# the three interprocedural passes (lockflow / panicflow / taint)
+# ratcheting against the committed baselines in analyze's config. On
+# failure the binary prints the diagnostic-count delta against the
+# committed results/analyze.json.
 run_gate "analyze (determinism & safety contract)" 120 \
     cargo run -q --offline -p beff-analyze --bin analyze -- --out target/analyze.verify.json
+
+# the analyzer never gets to baseline its own defects: crates/analyze
+# must be clean under its own interprocedural passes at budget 0 (no
+# `analyze` row in any pass baseline table, no findings).
+run_gate "analyze-self (analyzer clean under its own passes)" 120 \
+    cargo run -q --offline -p beff-analyze --bin analyze -- --self-gate \
+    --out target/analyze.self.json
 
 run_gate "test (offline)" 900 \
     cargo test -q --offline --workspace
